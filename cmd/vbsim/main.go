@@ -1,0 +1,71 @@
+// Command vbsim runs the single-site migration-overhead simulation behind
+// the paper's Figure 4: a 700-server VB site driven by renewable power with
+// an Azure-like VM arrival trace.
+//
+// Usage:
+//
+//	vbsim -days 7 -source wind
+//	vbsim -days 90 -source solar -csv > transfers.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	vb "github.com/vbcloud/vb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vbsim: ")
+
+	var (
+		days      = flag.Int("days", 7, "days to simulate")
+		seed      = flag.Uint64("seed", vb.DefaultSeed, "random seed")
+		sourceArg = flag.String("source", "wind", `power source: "wind" or "solar"`)
+		csvOut    = flag.Bool("csv", false, "emit the per-step power/in/out series as CSV")
+		chart     = flag.Bool("chart", false, "render the Fig 4a timeline as an ASCII chart")
+	)
+	flag.Parse()
+
+	var src vb.Source
+	switch *sourceArg {
+	case "wind":
+		src = vb.Wind
+	case "solar":
+		src = vb.Solar
+	default:
+		log.Fatalf("unknown -source %q", *sourceArg)
+	}
+
+	res, err := vb.Fig4Migration(*seed, src, *days)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *csvOut {
+		if err := vb.WriteCSV(os.Stdout, []string{"power", "out_gb", "in_gb"},
+			res.Run.Power, res.Run.OutGB, res.Run.InGB); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Print(res.Report())
+	if *chart {
+		c, err := vb.PlotSeries(res.Run.Power, vb.PlotOptions{Title: "normalized power", Height: 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(c)
+		c, err = vb.PlotMulti([]vb.Series{res.Run.OutGB.Shift(1), res.Run.InGB.Shift(1)},
+			[]string{"out GB", "in GB"}, vb.PlotOptions{Title: "migration traffic per 15 min (log)", LogY: true, Height: 10})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(c)
+	}
+	link := 200.0
+	fmt.Printf("  utilization mean: %.1f%%\n", res.Run.Utilization.Mean()*100)
+	fmt.Printf("  at %.0f Gb/s per-site WAN: see `go test -bench=BenchmarkWANBusyFraction`\n", link)
+}

@@ -1,0 +1,101 @@
+// Command vbtrace generates synthetic renewable power traces and their
+// forecasts, printing them as CSV or a summary table.
+//
+// Usage:
+//
+//	vbtrace -days 7 -step 15m -seed 42 -sites trio -format csv > power.csv
+//	vbtrace -days 365 -summary
+//	vbtrace -days 30 -forecast 24h
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	vb "github.com/vbcloud/vb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vbtrace: ")
+
+	var (
+		days     = flag.Int("days", 7, "days of trace to generate")
+		step     = flag.Duration("step", 15*time.Minute, "sampling step (must divide 24h)")
+		seed     = flag.Uint64("seed", vb.DefaultSeed, "random seed")
+		sitesArg = flag.String("sites", "trio", `site set: "trio" (NO/UK/PT) or "fleet" (12 sites)`)
+		format   = flag.String("format", "csv", `output: "csv", "summary" or "chart"`)
+		fcH      = flag.Duration("forecast", 0, "also emit forecasts at this horizon (e.g. 24h; 0 = none)")
+		startArg = flag.String("start", "2020-01-01", "trace start date (YYYY-MM-DD)")
+	)
+	flag.Parse()
+
+	start, err := time.Parse("2006-01-02", *startArg)
+	if err != nil {
+		log.Fatalf("bad -start: %v", err)
+	}
+	var sites []vb.SiteConfig
+	switch *sitesArg {
+	case "trio":
+		sites = vb.EuropeanTrio()
+	case "fleet":
+		sites = vb.EuropeanFleet(0)
+	default:
+		log.Fatalf("unknown -sites %q", *sitesArg)
+	}
+
+	n := int(time.Duration(*days) * 24 * time.Hour / *step)
+	world := vb.NewWorld(*seed)
+	series, err := world.Generate(sites, start, *step, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	names := make([]string, len(sites))
+	for i, s := range sites {
+		names[i] = s.Name
+	}
+
+	if *fcH > 0 {
+		fc := vb.NewForecaster(*seed)
+		for i, s := range sites {
+			f, err := fc.Forecast(series[i], s.Source, *fcH, s.Name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			series = append(series, f)
+			names = append(names, s.Name+"-fc")
+		}
+	}
+
+	switch *format {
+	case "csv":
+		if err := vb.WriteCSV(os.Stdout, names, series...); err != nil {
+			log.Fatal(err)
+		}
+	case "summary":
+		fmt.Printf("%-12s %8s %8s %8s %8s %8s\n", "site", "mean", "median", "p99", "max", "zeros%")
+		for i, name := range names {
+			sum, err := vb.Summarize(series[i].Values)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-12s %8.3f %8.3f %8.3f %8.3f %7.1f%%\n",
+				name, sum.Mean, sum.P50, sum.P99, sum.Max, series[i].FractionZero(1e-9)*100)
+		}
+	case "chart":
+		chart, err := vb.PlotMulti(series, names, vb.PlotOptions{
+			Title:  fmt.Sprintf("normalized power, %d days", *days),
+			YLabel: "fraction of capacity",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(chart)
+	default:
+		log.Fatalf("unknown -format %q", *format)
+	}
+}

@@ -1,0 +1,83 @@
+package vb_test
+
+import (
+	"fmt"
+	"time"
+
+	vb "github.com/vbcloud/vb"
+)
+
+// Generate a day of power for the paper's trio and split it into stable and
+// variable energy (§2.3).
+func ExampleStableVariableSplit() {
+	world := vb.NewWorld(vb.DefaultSeed)
+	start := time.Date(2020, 5, 4, 0, 0, 0, 0, time.UTC)
+	power, err := world.GeneratePower(vb.EuropeanTrio(), start, time.Hour, 24)
+	if err != nil {
+		panic(err)
+	}
+	combined, err := vb.SumSeries(power...)
+	if err != nil {
+		panic(err)
+	}
+	split, err := vb.StableVariableSplit(combined, 24*time.Hour)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("stable fraction between 0 and 1: %v\n", split.StableFraction() >= 0 && split.StableFraction() <= 1)
+	// Output:
+	// stable fraction between 0 and 1: true
+}
+
+// Estimate the round-trip latency between two VB sites.
+func ExampleLatencyMS() {
+	trio := vb.EuropeanTrio()
+	ms := vb.LatencyMS(trio[0], trio[1]) // Oslo solar <-> UK wind
+	fmt.Printf("within the paper's 50 ms bound: %v\n", ms < 50)
+	// Output:
+	// within the paper's 50 ms bound: true
+}
+
+// The four Table 1 policies.
+func ExamplePolicy() {
+	for _, p := range vb.AllPolicies() {
+		fmt.Println(p)
+	}
+	// Output:
+	// Greedy
+	// MIP-24h
+	// MIP
+	// MIP-peak
+}
+
+// The paper's WAN arithmetic (§3): a 10 TB spike in 5 minutes.
+func ExampleWANShare() {
+	r, err := vb.WANShare()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.0f Gb/s needed, %.0f Gb/s share\n", r.RequiredGbps, r.PerSiteGbps)
+	// Output:
+	// 267 Gb/s needed, 500 Gb/s share
+}
+
+// The §2.1 cost structure: transmission savings from co-location.
+func ExampleCostModel() {
+	m := vb.DefaultCostModel()
+	fmt.Printf("%.0f%% of data-center cost\n", m.TransmissionSavingFraction()*100)
+	// Output:
+	// 10% of data-center cost
+}
+
+// Live-migration cost of a 32 GB VM on a 10 Gb/s flow.
+func ExampleMigrationModel() {
+	m := vb.DefaultMigrationModel()
+	r, err := m.Migrate(32)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("converged: %v, amplification under 1.2x: %v, sub-second downtime: %v\n",
+		r.Converged, r.Amplification < 1.2, r.DowntimeSec < 1)
+	// Output:
+	// converged: true, amplification under 1.2x: true, sub-second downtime: true
+}

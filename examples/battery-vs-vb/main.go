@@ -1,0 +1,55 @@
+// Battery vs Virtual Battery: quantify the paper's §1 argument that
+// chemical storage cannot economically absorb renewable variability, by
+// computing how much battery a single site would need to match the firm
+// power that multi-VB aggregation provides almost for free.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	vb "github.com/vbcloud/vb"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	r, err := vb.BatteryEquivalent(vb.DefaultSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("firm power target: %.0f MW (the trio's 10th-percentile output)\n\n", r.TargetMW)
+	fmt.Printf("single best site + battery:  %.0f MWh of storage (~$%.1fB at $300/kWh)\n",
+		r.SingleSiteBatteryMWh, r.SingleSiteCostUSD/1e9)
+	fmt.Printf("three aggregated VB sites:   %.0f MWh of storage\n", r.GroupBatteryMWh)
+	fmt.Printf("aggregation substitutes for %.0fx the storage\n\n",
+		r.SingleSiteBatteryMWh/r.GroupBatteryMWh)
+
+	// What would a small battery do for the group's worst gaps? Compare
+	// with the paper's §2.3 grid-purchase analysis.
+	world := vb.NewWorld(vb.DefaultSeed)
+	trio := vb.EuropeanTrio()
+	start := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	power, err := world.GeneratePower(trio, start, time.Hour, 30*24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, err := vb.SumSeries(power...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := vb.SmoothWithBattery(vb.BatteryConfig{
+		CapacityMWh:           2000,
+		PowerMW:               300,
+		RoundTripEfficiency:   0.85,
+		InitialChargeFraction: 0.5,
+	}, sum, r.TargetMW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("a 2 GWh battery on the aggregated group over a month:\n")
+	fmt.Printf("  unserved: %.0f MWh, spilled: %.0f MWh, %.1f equivalent cycles\n",
+		res.UnservedMWh, res.SpilledMWh, res.CyclesEquivalent)
+}

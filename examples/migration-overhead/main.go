@@ -1,0 +1,50 @@
+// Migration overhead (the paper's §3 / Fig 4 scenario): drive a 700-server
+// VB site with wind power and an Azure-like VM arrival trace, and quantify
+// the migration traffic that power-tracking forces onto the WAN.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	vb "github.com/vbcloud/vb"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	res, err := vb.Fig4Migration(vb.DefaultSeed, vb.Wind, 14)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := res.Run
+
+	fmt.Println("single VB site, 700 servers x 40 cores, 70% admission target, 14 days of wind")
+	fmt.Printf("  power changes with no eviction: %.0f%% (paper: >80%%)\n", res.QuietFraction*100)
+	fmt.Printf("  total migrated out: %.0f GB, in: %.0f GB\n", run.TotalOutGB(), run.TotalInGB())
+	fmt.Printf("  out p99/p50: %.1fx, in p99/p50: %.1fx (paper: 12.5-16x / 18-30x)\n",
+		res.OutP99OverP50, res.InP99OverP50)
+	fmt.Printf("  biggest 15-minute spike: %.0f GB out\n", run.OutGB.Max())
+
+	// What does the spike mean for the WAN (§3)?
+	share, err := vb.WANShare()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nWAN math: a %.0f GB spike in %v needs %.0f Gb/s — %.0f%% of a site's %.0f Gb/s share\n",
+		share.SpikeGB, share.Deadline, share.RequiredGbps, share.ShareConsumed*100, share.PerSiteGbps)
+
+	// ... but averaged over time the link is mostly idle (§5).
+	total, err := vb.AddSeries(run.OutGB, run.InGB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One week of the run at a 200 Gb/s site link.
+	week := total.Window(total.Start, total.Start.Add(7*24*time.Hour))
+	busy, err := vb.WANBusy(week, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("at 200 Gb/s the link is busy %.1f%% of the time (paper: 2-4%%)\n", busy*100)
+}

@@ -1,0 +1,125 @@
+package vb
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBatteryEquivalent(t *testing.T) {
+	r, err := BatteryEquivalent(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TargetMW <= 0 {
+		t.Fatal("target must be positive")
+	}
+	// The headline claim: aggregation substitutes for almost all the
+	// storage a single site would need.
+	if r.GroupBatteryMWh >= 0.1*r.SingleSiteBatteryMWh {
+		t.Errorf("group battery %v MWh should be <10%% of single-site %v MWh",
+			r.GroupBatteryMWh, r.SingleSiteBatteryMWh)
+	}
+	if r.SingleSiteCostUSD <= 0 {
+		t.Error("battery cost should be positive")
+	}
+}
+
+func TestSmoothWithBatteryPublic(t *testing.T) {
+	gen := NewSeries(time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC), time.Hour, 4)
+	for i := range gen.Values {
+		gen.Values[i] = 100
+	}
+	r, err := SmoothWithBattery(BatteryConfig{
+		CapacityMWh: 10, PowerMW: 10, RoundTripEfficiency: 0.9,
+	}, gen, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.UnservedMWh != 0 {
+		t.Errorf("constant surplus should serve fully, unserved=%v", r.UnservedMWh)
+	}
+	if _, err := RequiredBatteryMWh(gen, 50, 100, 0.9, 0); err != nil {
+		t.Errorf("RequiredBatteryMWh: %v", err)
+	}
+}
+
+func TestDefaultMigrationModel(t *testing.T) {
+	m := DefaultMigrationModel()
+	r, err := m.Migrate(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Converged || r.Amplification < 1 {
+		t.Errorf("default model should converge with amplification >= 1: %+v", r)
+	}
+}
+
+func TestMigrationRealism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two Table 1 policies")
+	}
+	r, err := MigrationRealism(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Amplification < 1 || r.Amplification > 1.5 {
+		t.Errorf("amplification = %v, want modest (>1, <1.5)", r.Amplification)
+	}
+	if r.DowntimeSec <= 0 || r.DowntimeSec > 5 {
+		t.Errorf("downtime = %v s, want sub-second to a few seconds", r.DowntimeSec)
+	}
+	if r.AdjustedMIPTotalGB >= r.AdjustedGreedyTotalGB {
+		t.Error("amplification preserves the policy ordering")
+	}
+}
+
+func TestReplicationVsMigration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a Table 1 policy")
+	}
+	r, err := ReplicationVsMigration(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hot replication streams far more over a week than the app actually
+	// migrates — the reason the paper's scheduler prefers migration.
+	if r.HotStandbyGB <= r.MigrationGB {
+		t.Errorf("hot standby %v GB should exceed per-app migration %v GB",
+			r.HotStandbyGB, r.MigrationGB)
+	}
+	if r.ColdStandbyGB <= 0 || r.ColdStandbyGB >= r.HotStandbyGB {
+		t.Errorf("cold standby %v GB should sit below hot %v GB", r.ColdStandbyGB, r.HotStandbyGB)
+	}
+	if r.BreakEvenMovesPerWeek <= 1 {
+		t.Errorf("break-even moves = %v, should exceed realistic move rates", r.BreakEvenMovesPerWeek)
+	}
+}
+
+func TestCarbonSavings(t *testing.T) {
+	r, err := CarbonSavings(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Savings.SavedFraction < 0.8 {
+		t.Errorf("renewables should avoid most grid emissions, got %v", r.Savings.SavedFraction)
+	}
+	if r.MigrationShare > 0.01 {
+		t.Errorf("migration carbon share = %v, paper's §5 says negligible", r.MigrationShare)
+	}
+	if r.MigrationTons <= 0 {
+		t.Error("migration emissions should be positive")
+	}
+}
+
+func TestConsolidationStudy(t *testing.T) {
+	r, err := ConsolidationStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ConsolidatedKW >= r.SpreadKW {
+		t.Error("consolidation must draw less than spreading")
+	}
+	if r.SavingFraction <= 0.05 {
+		t.Errorf("saving fraction = %v, want material", r.SavingFraction)
+	}
+}

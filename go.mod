@@ -1,0 +1,3 @@
+module github.com/vbcloud/vb
+
+go 1.24

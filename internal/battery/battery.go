@@ -1,0 +1,194 @@
+// Package battery models chemical energy storage — the alternative the
+// Virtual Battery paper argues against (§1: grid-scale battery capacity is
+// ~0.4% of US solar+wind capacity; §2.3 considers small batteries only as a
+// gap-filler). It lets the repository quantify the comparison the paper
+// makes qualitatively: how much physical storage would be needed to deliver
+// the same stable power as a multi-VB site group, and what it would cost.
+package battery
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/vbcloud/vb/internal/trace"
+)
+
+// Config describes a battery energy storage system.
+type Config struct {
+	// CapacityMWh is the usable energy capacity.
+	CapacityMWh float64
+	// PowerMW limits charge and discharge rate.
+	PowerMW float64
+	// RoundTripEfficiency is the AC-to-AC round-trip efficiency
+	// (typically ~0.85 for Li-ion). Charging stores energy x sqrt(eff);
+	// discharging delivers stored x sqrt(eff).
+	RoundTripEfficiency float64
+	// InitialChargeFraction is the starting state of charge in [0, 1].
+	InitialChargeFraction float64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.CapacityMWh <= 0 {
+		return fmt.Errorf("battery: non-positive capacity %v", c.CapacityMWh)
+	}
+	if c.PowerMW <= 0 {
+		return fmt.Errorf("battery: non-positive power limit %v", c.PowerMW)
+	}
+	if c.RoundTripEfficiency <= 0 || c.RoundTripEfficiency > 1 {
+		return fmt.Errorf("battery: round-trip efficiency %v outside (0,1]", c.RoundTripEfficiency)
+	}
+	if c.InitialChargeFraction < 0 || c.InitialChargeFraction > 1 {
+		return fmt.Errorf("battery: initial charge %v outside [0,1]", c.InitialChargeFraction)
+	}
+	return nil
+}
+
+// Result reports a smoothing simulation.
+type Result struct {
+	// Delivered is the output power series (generation +/- battery).
+	Delivered trace.Series
+	// SoC is the state of charge (MWh) after each step.
+	SoC trace.Series
+	// UnservedMWh is demand that could not be met (battery empty).
+	UnservedMWh float64
+	// SpilledMWh is generation that could not be absorbed (battery full
+	// and generation above target).
+	SpilledMWh float64
+	// CyclesEquivalent is total discharged energy over capacity.
+	CyclesEquivalent float64
+}
+
+// Smooth simulates the battery firming a generation series (MW) to a
+// constant target power (MW): surplus charges the battery, deficits
+// discharge it. This is the service a Virtual Battery provides by shifting
+// computation instead of electrons.
+func Smooth(cfg Config, generation trace.Series, targetMW float64) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if generation.IsEmpty() {
+		return Result{}, trace.ErrEmptySeries
+	}
+	if targetMW < 0 {
+		return Result{}, fmt.Errorf("battery: negative target %v", targetMW)
+	}
+	dt := generation.Step.Hours()
+	if dt <= 0 {
+		return Result{}, trace.ErrBadStep
+	}
+	// Split round-trip losses evenly between charge and discharge.
+	oneWay := math.Sqrt(cfg.RoundTripEfficiency)
+
+	res := Result{
+		Delivered: trace.New(generation.Start, generation.Step, generation.Len()),
+		SoC:       trace.New(generation.Start, generation.Step, generation.Len()),
+	}
+	soc := cfg.InitialChargeFraction * cfg.CapacityMWh
+	var discharged float64
+	for i, gen := range generation.Values {
+		delivered := gen
+		if gen >= targetMW {
+			// Charge with the surplus, limited by power and headroom.
+			surplus := gen - targetMW
+			charge := minf(surplus, cfg.PowerMW)
+			stored := charge * oneWay * dt
+			if soc+stored > cfg.CapacityMWh {
+				stored = cfg.CapacityMWh - soc
+				charge = stored / (oneWay * dt)
+			}
+			soc += stored
+			res.SpilledMWh += (surplus - charge) * dt
+			delivered = targetMW
+		} else {
+			// Discharge to fill the gap, limited by power and charge.
+			deficit := targetMW - gen
+			discharge := minf(deficit, cfg.PowerMW)
+			drawn := discharge / oneWay * dt
+			if drawn > soc {
+				drawn = soc
+				discharge = drawn * oneWay / dt
+			}
+			soc -= drawn
+			discharged += discharge * dt
+			delivered = gen + discharge
+			if delivered < targetMW {
+				res.UnservedMWh += (targetMW - delivered) * dt
+			}
+		}
+		res.Delivered.Values[i] = delivered
+		res.SoC.Values[i] = soc
+	}
+	res.CyclesEquivalent = discharged / cfg.CapacityMWh
+	return res, nil
+}
+
+// RequiredCapacityMWh finds, by bisection, the smallest battery capacity
+// (with the given power limit and efficiency) that firms the generation
+// series to targetMW with at most maxUnservedMWh of unserved energy,
+// *sustainably*: the battery starts half charged and must end the run at
+// or above its initial state of charge, so the answer cannot be gamed by
+// draining a huge pre-charged pack. It returns an error when the target is
+// not firmable at all (above mean generation net of losses).
+func RequiredCapacityMWh(generation trace.Series, targetMW, powerMW, efficiency, maxUnservedMWh float64) (float64, error) {
+	feasible := func(cap float64) (bool, error) {
+		r, err := Smooth(Config{
+			CapacityMWh:           cap,
+			PowerMW:               powerMW,
+			RoundTripEfficiency:   efficiency,
+			InitialChargeFraction: 0.5,
+		}, generation, targetMW)
+		if err != nil {
+			return false, err
+		}
+		if r.UnservedMWh > maxUnservedMWh {
+			return false, nil
+		}
+		final := r.SoC.Values[r.SoC.Len()-1]
+		return final >= 0.5*cap-1e-9, nil
+	}
+	hi := 1.0
+	for i := 0; i < 40; i++ {
+		ok, err := feasible(hi)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			break
+		}
+		hi *= 2
+		if hi > 1e9 {
+			return 0, fmt.Errorf("battery: target %v MW not firmable (above mean generation?)", targetMW)
+		}
+	}
+	lo := 0.0
+	for i := 0; i < 50; i++ {
+		mid := (lo + hi) / 2
+		if mid <= 0 {
+			break
+		}
+		ok, err := feasible(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// CostUSD estimates the capital cost of a battery at the given unit price
+// (USD per kWh; grid-scale Li-ion is on the order of $300/kWh installed).
+func CostUSD(capacityMWh, usdPerKWh float64) float64 {
+	return capacityMWh * 1000 * usdPerKWh
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

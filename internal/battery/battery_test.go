@@ -1,0 +1,205 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/vbcloud/vb/internal/trace"
+)
+
+var t0 = time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func gen(vals ...float64) trace.Series {
+	return trace.FromValues(t0, time.Hour, vals)
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{CapacityMWh: 10, PowerMW: 5, RoundTripEfficiency: 0.85}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{PowerMW: 1, RoundTripEfficiency: 0.9},
+		{CapacityMWh: 1, RoundTripEfficiency: 0.9},
+		{CapacityMWh: 1, PowerMW: 1},
+		{CapacityMWh: 1, PowerMW: 1, RoundTripEfficiency: 1.2},
+		{CapacityMWh: 1, PowerMW: 1, RoundTripEfficiency: 0.9, InitialChargeFraction: 1.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSmoothErrors(t *testing.T) {
+	cfg := Config{CapacityMWh: 10, PowerMW: 5, RoundTripEfficiency: 1}
+	if _, err := Smooth(Config{}, gen(1), 1); err == nil {
+		t.Error("bad config should error")
+	}
+	if _, err := Smooth(cfg, trace.Series{}, 1); err == nil {
+		t.Error("empty generation should error")
+	}
+	if _, err := Smooth(cfg, gen(1), -1); err == nil {
+		t.Error("negative target should error")
+	}
+	bad := trace.FromValues(t0, 0, []float64{1})
+	if _, err := Smooth(cfg, bad, 1); err == nil {
+		t.Error("zero step should error")
+	}
+}
+
+func TestSmoothPerfectFirmIdeal(t *testing.T) {
+	// Lossless battery, alternating 0/100 MW, target 50 MW: perfectly
+	// firmable starting half full.
+	cfg := Config{CapacityMWh: 100, PowerMW: 50, RoundTripEfficiency: 1, InitialChargeFraction: 0.5}
+	r, err := Smooth(cfg, gen(100, 0, 100, 0, 100, 0), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.UnservedMWh != 0 {
+		t.Errorf("unserved = %v, want 0", r.UnservedMWh)
+	}
+	for i, v := range r.Delivered.Values {
+		if math.Abs(v-50) > 1e-9 {
+			t.Errorf("step %d delivered %v, want 50", i, v)
+		}
+	}
+	if r.CyclesEquivalent <= 0 {
+		t.Error("battery should cycle")
+	}
+}
+
+func TestSmoothLossesCauseUnserved(t *testing.T) {
+	// With 81% round-trip efficiency the same pattern cannot sustain 50 MW
+	// forever: each cycle loses energy.
+	cfg := Config{CapacityMWh: 100, PowerMW: 50, RoundTripEfficiency: 0.81, InitialChargeFraction: 0.5}
+	vals := make([]float64, 40)
+	for i := range vals {
+		if i%2 == 0 {
+			vals[i] = 100
+		}
+	}
+	r, err := Smooth(cfg, gen(vals...), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.UnservedMWh <= 0 {
+		t.Error("lossy battery should eventually fall short")
+	}
+}
+
+func TestSmoothPowerLimit(t *testing.T) {
+	// Power limit of 10 MW: a 50 MW deficit can only be filled to 10.
+	cfg := Config{CapacityMWh: 1000, PowerMW: 10, RoundTripEfficiency: 1, InitialChargeFraction: 1}
+	r, err := Smooth(cfg, gen(0), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Delivered.Values[0]-10) > 1e-9 {
+		t.Errorf("delivered %v, want 10 (power limited)", r.Delivered.Values[0])
+	}
+	if math.Abs(r.UnservedMWh-40) > 1e-9 {
+		t.Errorf("unserved %v, want 40", r.UnservedMWh)
+	}
+}
+
+func TestSmoothSpill(t *testing.T) {
+	// Full battery, generation above target: surplus is spilled.
+	cfg := Config{CapacityMWh: 10, PowerMW: 100, RoundTripEfficiency: 1, InitialChargeFraction: 1}
+	r, err := Smooth(cfg, gen(100), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.SpilledMWh-60) > 1e-9 {
+		t.Errorf("spilled %v, want 60", r.SpilledMWh)
+	}
+	if r.SoC.Values[0] != 10 {
+		t.Errorf("SoC %v, want full", r.SoC.Values[0])
+	}
+}
+
+func TestSoCBounds(t *testing.T) {
+	cfg := Config{CapacityMWh: 20, PowerMW: 100, RoundTripEfficiency: 0.85, InitialChargeFraction: 0.3}
+	vals := []float64{100, 0, 200, 0, 0, 0, 300, 0}
+	r, err := Smooth(cfg, gen(vals...), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, soc := range r.SoC.Values {
+		if soc < -1e-9 || soc > cfg.CapacityMWh+1e-9 {
+			t.Fatalf("step %d SoC %v outside [0, %v]", i, soc, cfg.CapacityMWh)
+		}
+	}
+}
+
+func TestRequiredCapacity(t *testing.T) {
+	// Alternating 100/0 with target 50 and lossless transfer: each low
+	// hour draws 50 MWh; starting half charged and required to end at or
+	// above half, the pack needs ~100 MWh (a 50 MWh usable swing).
+	vals := make([]float64, 20)
+	for i := range vals {
+		if i%2 == 0 {
+			vals[i] = 100
+		}
+	}
+	capacity, err := RequiredCapacityMWh(gen(vals...), 50, 1000, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capacity < 90 || capacity > 130 {
+		t.Errorf("required capacity = %v, want ~100", capacity)
+	}
+	// Infeasible target: average generation is 50, firming 200 MW cannot
+	// work.
+	if _, err := RequiredCapacityMWh(gen(vals...), 200, 1000, 1, 0); err == nil {
+		t.Error("unfirmable target should error")
+	}
+}
+
+func TestCostUSD(t *testing.T) {
+	// 100 MWh at $300/kWh = $30M.
+	if got := CostUSD(100, 300); got != 30e6 {
+		t.Errorf("cost = %v, want 3e7", got)
+	}
+}
+
+// Property: delivered power never exceeds target when generation is below
+// target, and energy is conserved within losses.
+func TestPropEnergyConservation(t *testing.T) {
+	f := func(raw []uint8, capacity8, target8 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v)
+		}
+		cfg := Config{
+			CapacityMWh:         float64(capacity8%200) + 1,
+			PowerMW:             50,
+			RoundTripEfficiency: 0.85,
+		}
+		target := float64(target8 % 120)
+		r, err := Smooth(cfg, gen(vals...), target)
+		if err != nil {
+			return false
+		}
+		var genE, delE float64
+		for i := range vals {
+			genE += vals[i]
+			delE += r.Delivered.Values[i]
+			// Delivered never exceeds max(generation, target).
+			if r.Delivered.Values[i] > math.Max(vals[i], target)+1e-9 {
+				return false
+			}
+		}
+		// Energy out cannot exceed energy in plus initial charge.
+		return delE <= genE+cfg.CapacityMWh+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+// Package carbon accounts for the emissions the Virtual Battery design is
+// ultimately about (§1: cloud computing's carbon footprint has surpassed
+// aviation; all major providers pledged carbon-neutral or negative
+// operation). It converts energy series into emissions under different
+// sourcing strategies and quantifies the savings of running on co-located
+// renewables versus the grid.
+package carbon
+
+import (
+	"fmt"
+
+	"github.com/vbcloud/vb/internal/trace"
+)
+
+// Intensity is an emissions factor in grams of CO2-equivalent per kWh.
+type Intensity float64
+
+// Representative grid carbon intensities (gCO2e/kWh).
+const (
+	// CoalGrid is a coal-heavy grid.
+	CoalGrid Intensity = 820
+	// AverageGrid is a typical mixed European grid.
+	AverageGrid Intensity = 300
+	// GasGrid is a combined-cycle gas grid.
+	GasGrid Intensity = 490
+	// WindLifecycle and SolarLifecycle are lifecycle (manufacturing)
+	// footprints of the renewable sources themselves.
+	WindLifecycle  Intensity = 11
+	SolarLifecycle Intensity = 41
+)
+
+// EmissionsTons returns the CO2e tonnage of consuming the energy series
+// (MW samples) at the given intensity.
+func EmissionsTons(power trace.Series, intensity Intensity) (float64, error) {
+	if power.IsEmpty() {
+		return 0, trace.ErrEmptySeries
+	}
+	if intensity < 0 {
+		return 0, fmt.Errorf("carbon: negative intensity %v", float64(intensity))
+	}
+	// Energy() is MWh; 1 MWh = 1000 kWh; grams -> tons is 1e-6.
+	return power.Energy() * 1000 * float64(intensity) * 1e-6, nil
+}
+
+// Savings compares powering a compute load from co-located renewables
+// (lifecycle intensity) against drawing the same energy from a grid.
+type Savings struct {
+	// RenewableTons is the lifecycle footprint of the renewable supply.
+	RenewableTons float64
+	// GridTons is the counterfactual grid footprint.
+	GridTons float64
+	// SavedTons is the difference.
+	SavedTons float64
+	// SavedFraction is SavedTons over GridTons.
+	SavedFraction float64
+}
+
+// CompareToGrid computes the §1 argument in numbers: the emissions avoided
+// by consuming the generation series on site instead of equivalent grid
+// energy.
+func CompareToGrid(generation trace.Series, renewable, grid Intensity) (Savings, error) {
+	r, err := EmissionsTons(generation, renewable)
+	if err != nil {
+		return Savings{}, err
+	}
+	g, err := EmissionsTons(generation, grid)
+	if err != nil {
+		return Savings{}, err
+	}
+	s := Savings{RenewableTons: r, GridTons: g, SavedTons: g - r}
+	if g > 0 {
+		s.SavedFraction = s.SavedTons / g
+	}
+	return s, nil
+}
+
+// MigrationEnergyTons estimates the emissions of the WAN traffic the
+// multi-VB design adds: transferGB of migration traffic at the given
+// network energy intensity (kWh per GB; wide-area transport is on the
+// order of 0.01-0.06 kWh/GB) and grid carbon intensity. The paper's §5
+// argues this is negligible next to the ~50% losses of power transmission;
+// this function lets the claim be checked.
+func MigrationEnergyTons(transferGB, kwhPerGB float64, grid Intensity) (float64, error) {
+	if transferGB < 0 {
+		return 0, fmt.Errorf("carbon: negative transfer %v", transferGB)
+	}
+	if kwhPerGB < 0 {
+		return 0, fmt.Errorf("carbon: negative energy per GB %v", kwhPerGB)
+	}
+	if grid < 0 {
+		return 0, fmt.Errorf("carbon: negative intensity %v", float64(grid))
+	}
+	return transferGB * kwhPerGB * float64(grid) * 1e-6, nil
+}

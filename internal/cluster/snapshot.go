@@ -1,0 +1,55 @@
+package cluster
+
+// Snapshot is a point-in-time view of a site's packing state, useful for
+// studying consolidation quality (the paper's step 4 places VMs to
+// "minimize total power usage by consolidating as much as possible").
+type Snapshot struct {
+	// Servers is the machine count; OccupiedServers hold at least one VM.
+	Servers, OccupiedServers int
+	// PoweredCores and AllocatedCores mirror the site accessors.
+	PoweredCores, AllocatedCores int
+	// FreeCores is powered minus allocated (never negative).
+	FreeCores int
+	// MaxFreeCoresOneServer is the largest contiguous allocation a single
+	// server could still take.
+	MaxFreeCoresOneServer int
+	// MaxFreeMemGBOneServer is the matching memory headroom.
+	MaxFreeMemGBOneServer int
+	// Fragmentation is 1 - (largest placeable VM / total free cores): 0
+	// when all free capacity sits on one server, approaching 1 when free
+	// cores are scattered in unusable slivers. Zero free cores score 0.
+	Fragmentation float64
+}
+
+// Snapshot captures the current packing state.
+func (s *Site) Snapshot() Snapshot {
+	snap := Snapshot{
+		Servers:        len(s.servers),
+		PoweredCores:   s.powered,
+		AllocatedCores: s.alloc,
+	}
+	totalFree := 0
+	for i := range s.servers {
+		srv := &s.servers[i]
+		if len(srv.vms) > 0 {
+			snap.OccupiedServers++
+		}
+		freeCores := s.cfg.CoresPerServer - srv.allocCores
+		freeMem := s.cfg.MemPerServerGB - srv.allocMemGB
+		totalFree += freeCores
+		if freeCores > snap.MaxFreeCoresOneServer {
+			snap.MaxFreeCoresOneServer = freeCores
+		}
+		if freeMem > snap.MaxFreeMemGBOneServer {
+			snap.MaxFreeMemGBOneServer = freeMem
+		}
+	}
+	snap.FreeCores = s.powered - s.alloc
+	if snap.FreeCores < 0 {
+		snap.FreeCores = 0
+	}
+	if totalFree > 0 {
+		snap.Fragmentation = 1 - float64(snap.MaxFreeCoresOneServer)/float64(totalFree)
+	}
+	return snap
+}

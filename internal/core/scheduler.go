@@ -1,0 +1,379 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/vbcloud/vb/internal/lp"
+	"github.com/vbcloud/vb/internal/mip"
+)
+
+// Scheduler places applications onto the sites of one multi-VB group over a
+// discretized planning timeline. It tracks capacity commitments so
+// concurrent applications do not over-subscribe a site's predicted power.
+type Scheduler struct {
+	cfg      Config
+	numSites int
+	steps    int
+	// committed[s][t] is the total cores promised on site s at step t.
+	committed [][]float64
+	// migCommitted[t] is the planned migration traffic (GB) already
+	// scheduled fleet-wide at step t; the peak objective coordinates
+	// across apps through it.
+	migCommitted []float64
+}
+
+// NewScheduler creates a scheduler for a group of numSites sites and a
+// global timeline of steps plan steps.
+func NewScheduler(cfg Config, numSites, steps int) (*Scheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if numSites <= 0 {
+		return nil, fmt.Errorf("core: non-positive site count %d", numSites)
+	}
+	if steps <= 0 {
+		return nil, fmt.Errorf("core: non-positive step count %d", steps)
+	}
+	s := &Scheduler{cfg: cfg, numSites: numSites, steps: steps}
+	s.committed = make([][]float64, numSites)
+	for i := range s.committed {
+		s.committed[i] = make([]float64, steps)
+	}
+	s.migCommitted = make([]float64, steps)
+	return s, nil
+}
+
+// Committed returns the cores committed on site s at step t.
+func (s *Scheduler) Committed(site, step int) float64 { return s.committed[site][step] }
+
+// Commit adds a plan's allocations and planned migration traffic to the
+// ledgers from step `from` onward.
+func (s *Scheduler) Commit(p Plan, from int) {
+	for site := range p.Alloc {
+		for t := from; t < s.steps; t++ {
+			s.committed[site][t] += p.Alloc[site][t]
+		}
+	}
+	for t := from; t < s.steps; t++ {
+		s.migCommitted[t] += p.MigrationGB(t)
+	}
+}
+
+// Uncommit removes a plan's allocations and planned migration traffic from
+// the ledgers from step `from` onward (used before re-planning).
+func (s *Scheduler) Uncommit(p Plan, from int) {
+	for site := range p.Alloc {
+		for t := from; t < s.steps; t++ {
+			s.committed[site][t] -= p.Alloc[site][t]
+			if s.committed[site][t] < 0 && s.committed[site][t] > -1e-6 {
+				s.committed[site][t] = 0
+			}
+		}
+	}
+	for t := from; t < s.steps; t++ {
+		s.migCommitted[t] -= p.MigrationGB(t)
+		if s.migCommitted[t] < 0 {
+			s.migCommitted[t] = 0
+		}
+	}
+}
+
+// CapacityFn predicts the usable cores of a site at a global plan step, as
+// seen at placement time (forecast-driven, already scaled by the utilization
+// target).
+type CapacityFn func(site, step int) float64
+
+// Place computes an allocation plan for app starting at nowStep and ending
+// at endStep (exclusive), given predicted capacities, the app's current
+// allocation per site (nil at first placement), and commits it to the
+// ledger. Initial placements (prev == nil) incur no migration cost at
+// nowStep. prevPlan, when non-nil, is the app's previous plan (indexed
+// [site][global step]); re-plans pay a small penalty for deviating from it,
+// which keeps long-horizon structure stable across forecast refreshes.
+// stableCap predicts the site's *stable* capacity level (e.g. a rolling
+// minimum of the forecast); allocations above it are allowed but
+// discouraged, steering placements towards sites with steady power without
+// forcing phantom moves during genuine scarcity. A nil stableCap reuses
+// predCap.
+func (s *Scheduler) Place(app AppDemand, nowStep, endStep int, predCap, stableCap CapacityFn, prev []float64, prevPlan [][]float64) (Plan, error) {
+	if err := app.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if nowStep < 0 || nowStep >= s.steps || endStep <= nowStep {
+		return Plan{}, fmt.Errorf("core: bad placement window [%d, %d) of %d", nowStep, endStep, s.steps)
+	}
+	if endStep > s.steps {
+		endStep = s.steps
+	}
+	if prev != nil && len(prev) != s.numSites {
+		return Plan{}, fmt.Errorf("core: prev has %d sites, want %d", len(prev), s.numSites)
+	}
+
+	// Only stable cores are scheduled and migrated: degradable VMs soak
+	// whatever spare powered capacity exists at a site and pause in place
+	// when power drops (the paper's harvest/spot semantics), so they never
+	// generate migration traffic and never constrain placement.
+	if app.StableCores <= 0 {
+		plan := newPlan(app.ID, s.numSites, s.steps)
+		plan.MemGBPerCore = app.MemGBPerCore
+		return plan, nil
+	}
+	var plan Plan
+	var err error
+	if stableCap == nil {
+		stableCap = predCap
+	}
+	if s.cfg.Policy == Greedy {
+		plan, err = s.placeGreedy(app, nowStep, endStep, predCap)
+	} else {
+		plan, err = s.placeMIP(app, nowStep, endStep, predCap, stableCap, prev, prevPlan)
+	}
+	if err != nil {
+		return Plan{}, err
+	}
+	s.Commit(plan, nowStep)
+	return plan, nil
+}
+
+// placeGreedy implements the paper's baseline: all VMs go to the site with
+// the most available capacity right now, with no lookahead.
+func (s *Scheduler) placeGreedy(app AppDemand, nowStep, endStep int, predCap CapacityFn) (Plan, error) {
+	best, bestFree := 0, math.Inf(-1)
+	for site := 0; site < s.numSites; site++ {
+		free := predCap(site, nowStep) - s.committed[site][nowStep]
+		if free > bestFree {
+			best, bestFree = site, free
+		}
+	}
+	plan := newPlan(app.ID, s.numSites, s.steps)
+	plan.MemGBPerCore = app.MemGBPerCore
+	for t := nowStep; t < endStep; t++ {
+		plan.Alloc[best][t] = app.StableCores
+	}
+	return plan, nil
+}
+
+// placeMIP builds and solves the paper's site-selection MIP (§3.1).
+//
+// Variables, per horizon step tau in [0, H) and site sel:
+//
+//	a[s,tau]  cores of this app on site s         (continuous)
+//	m[s,tau]  cores newly moved onto s at tau      (continuous)
+//	u[tau]    unplaced cores (shortfall, penalized) (continuous)
+//	y[s]      site s used by this app               (binary)
+//	P         peak per-step migration GB            (continuous, O2)
+//
+// Constraints: demand per step, predicted capacity per site-step, linking
+// a <= D*y, at most MaxSitesPerApp sites, migration definition
+// m >= a_tau - a_{tau-1}, and P >= step traffic. Objective O1 is total
+// migration GB; O2 adds peakWeight * P; shortfall carries a large penalty so
+// capacity gaps surface as explicit shortfall instead of infeasibility.
+func (s *Scheduler) placeMIP(app AppDemand, nowStep, endStep int, predCap, stableCap CapacityFn, prev []float64, prevPlan [][]float64) (Plan, error) {
+	horizon := endStep - nowStep
+	if s.cfg.Policy == MIP24h || s.cfg.Horizon > 0 {
+		h := s.cfg.Horizon
+		if s.cfg.Policy == MIP24h {
+			h = 24 * time.Hour
+		}
+		hs := int(h / s.cfg.PlanStep)
+		if hs < 1 {
+			hs = 1
+		}
+		if hs < horizon {
+			horizon = hs
+		}
+	}
+	k := s.numSites
+	H := horizon
+
+	// Variable layout.
+	nA := k * H
+	nM := k * H
+	nO := k * H
+	nU := H
+	nD := 0
+	if prevPlan != nil {
+		nD = k * H
+	}
+	aVar := func(site, tau int) int { return site*H + tau }
+	mVar := func(site, tau int) int { return nA + site*H + tau }
+	oVar := func(site, tau int) int { return nA + nM + site*H + tau }
+	uVar := func(tau int) int { return nA + nM + nO + tau }
+	dVar := func(site, tau int) int { return nA + nM + nO + nU + site*H + tau }
+	yVar := func(site int) int { return nA + nM + nO + nU + nD + site }
+	pVar := nA + nM + nO + nU + nD + k
+	numVars := pVar + 1
+
+	obj := make([]float64, numVars)
+	memGB := app.MemGBPerCore
+	// O1: total migration volume. Later moves are discounted slightly so
+	// that when the optimum is indifferent about *when* to move (the cost
+	// of a move is the same at any step before a predicted dip), the plan
+	// procrastinates: by the time the move is due, forecasts have
+	// sharpened and false alarms have evaporated. Without this tie-break
+	// the simplex picks arbitrary early moves that the next re-plan
+	// reverses, churning traffic.
+	const delayDiscount = 0.5
+	for site := 0; site < k; site++ {
+		for tau := 0; tau < H; tau++ {
+			w := 1 + delayDiscount*float64(H-1-tau)/float64(H)
+			obj[mVar(site, tau)] = memGB * w
+		}
+	}
+	// Instability preference: placing above the predicted *stable* level
+	// is allowed but mildly discouraged per step, steering apps onto sites
+	// whose power is predicted to hold ("place VMs on sites which are
+	// predicted to have stable power in the future") without forcing moves
+	// whenever a forecast wiggles.
+	const overWeight = 0.15
+	for site := 0; site < k; site++ {
+		for tau := 0; tau < H; tau++ {
+			obj[oVar(site, tau)] = overWeight * memGB
+		}
+	}
+	// Shortfall penalty: far larger than any plausible migration cost.
+	shortfallPenalty := 1000 * memGB * float64(H)
+	for tau := 0; tau < H; tau++ {
+		obj[uVar(tau)] = shortfallPenalty
+	}
+	// O2: peak traffic (P is in GB).
+	obj[pVar] = s.cfg.peakWeight()
+	// Plan-stability penalty: deviating from the previous plan costs a
+	// fraction of a real move, so re-plans only restructure when the
+	// predicted savings are material.
+	const devWeight = 0.05
+	if prevPlan != nil {
+		for site := 0; site < k; site++ {
+			for tau := 0; tau < H; tau++ {
+				obj[dVar(site, tau)] = devWeight * memGB
+			}
+		}
+	}
+
+	var cons []lp.Constraint
+	row := func(pairs map[int]float64, sense lp.Sense, rhs float64) {
+		coeffs := make([]float64, numVars)
+		for j, v := range pairs {
+			coeffs[j] = v
+		}
+		cons = append(cons, lp.Constraint{Coeffs: coeffs, Sense: sense, RHS: rhs})
+	}
+
+	demand := app.StableCores
+	// Hard feasibility applies only within the execution window (the next
+	// day, where forecasts are sharp and the plan actually runs before the
+	// next refresh). Beyond it, predicted capacity acts as a soft
+	// preference: a far-out predicted dip steers placement but cannot
+	// force a phantom move that the next forecast refresh would cancel.
+	hardSteps := int(24 * time.Hour / s.cfg.PlanStep)
+	if hardSteps < 1 {
+		hardSteps = 1
+	}
+	for tau := 0; tau < H; tau++ {
+		// Demand: sum_s a + u = D (stable cores only).
+		pairs := map[int]float64{uVar(tau): 1}
+		for site := 0; site < k; site++ {
+			pairs[aVar(site, tau)] = 1
+		}
+		row(pairs, lp.EQ, demand)
+	}
+	for site := 0; site < k; site++ {
+		for tau := 0; tau < H; tau++ {
+			free := predCap(site, nowStep+tau) - s.committed[site][nowStep+tau]
+			if free < 0 {
+				free = 0
+			}
+			freeStable := stableCap(site, nowStep+tau) - s.committed[site][nowStep+tau]
+			if freeStable < 0 {
+				freeStable = 0
+			}
+			if tau < hardSteps {
+				// Hard capacity at the plain forecast.
+				row(map[int]float64{aVar(site, tau): 1}, lp.LE, free)
+			}
+			// Soft preference: a - o <= stable level.
+			row(map[int]float64{aVar(site, tau): 1, oVar(site, tau): -1}, lp.LE, freeStable)
+			// Linking: a <= D * y.
+			row(map[int]float64{aVar(site, tau): 1, yVar(site): -demand}, lp.LE, 0)
+			// Migration definition: m >= a_tau - a_{tau-1}.
+			if tau == 0 {
+				if prev != nil {
+					row(map[int]float64{mVar(site, 0): 1, aVar(site, 0): -1}, lp.GE, -prev[site])
+				}
+				// First placement: tau 0 moves are free (no constraint ties
+				// m down; m = 0 at optimum since it only costs).
+			} else {
+				row(map[int]float64{mVar(site, tau): 1, aVar(site, tau): -1, aVar(site, tau-1): 1}, lp.GE, 0)
+			}
+		}
+		// Binary bound.
+		row(map[int]float64{yVar(site): 1}, lp.LE, 1)
+		// Deviation from the previous plan: d >= |a - prevPlan|.
+		if prevPlan != nil {
+			for tau := 0; tau < H; tau++ {
+				old := prevPlan[site][nowStep+tau]
+				row(map[int]float64{dVar(site, tau): 1, aVar(site, tau): -1}, lp.GE, -old)
+				row(map[int]float64{dVar(site, tau): 1, aVar(site, tau): 1}, lp.GE, old)
+			}
+		}
+	}
+	// Site count bound.
+	pairs := map[int]float64{}
+	for site := 0; site < k; site++ {
+		pairs[yVar(site)] = 1
+	}
+	row(pairs, lp.LE, float64(s.cfg.maxSites()))
+	// Peak: this app's step traffic stacked on the fleet-wide planned
+	// traffic must fit under P. Coordinating through the migration ledger
+	// is what spreads the *aggregate* migration load over time ("MIP-peak
+	// migrates VMs preemptively, spreading out migrations over time and
+	// reducing burstiness").
+	if s.cfg.peakWeight() > 0 {
+		for tau := 0; tau < H; tau++ {
+			pp := map[int]float64{pVar: -1}
+			for site := 0; site < k; site++ {
+				pp[mVar(site, tau)] = memGB
+			}
+			row(pp, lp.LE, -s.migCommitted[nowStep+tau])
+		}
+	}
+
+	integer := make([]bool, numVars)
+	for site := 0; site < k; site++ {
+		integer[yVar(site)] = true
+	}
+
+	sol, err := mip.Solve(mip.Problem{
+		Problem: lp.Problem{NumVars: numVars, Objective: obj, Constraints: cons},
+		Integer: integer,
+	}, mip.Options{MaxNodes: s.cfg.mipNodes(), Gap: 0.01})
+	if err != nil {
+		return Plan{}, err
+	}
+	if sol.Status != lp.Optimal {
+		return Plan{}, fmt.Errorf("core: placement MIP %v for app %d", sol.Status, app.ID)
+	}
+
+	plan := newPlan(app.ID, s.numSites, s.steps)
+	plan.MemGBPerCore = app.MemGBPerCore
+	for site := 0; site < k; site++ {
+		for t := nowStep; t < endStep; t++ {
+			tau := t - nowStep
+			if tau >= H {
+				tau = H - 1 // hold the last planned allocation
+			}
+			plan.Alloc[site][t] = sol.X[aVar(site, tau)]
+		}
+	}
+	return plan, nil
+}
+
+func newPlan(appID, numSites, steps int) Plan {
+	p := Plan{AppID: appID, Alloc: make([][]float64, numSites)}
+	for i := range p.Alloc {
+		p.Alloc[i] = make([]float64, steps)
+	}
+	return p
+}

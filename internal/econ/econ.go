@@ -1,0 +1,77 @@
+// Package econ models the economic argument of the paper's §2.1: co-locating
+// data centers with renewable farms removes transmission expense (~10% of
+// total data-center cost) and monetizes energy that would otherwise be
+// curtailed or sold at negative prices.
+package econ
+
+import (
+	"fmt"
+
+	"github.com/vbcloud/vb/internal/trace"
+)
+
+// CostModel captures the §2.1 cost structure.
+type CostModel struct {
+	// PowerShareOfCost is the fraction of data-center operating cost that
+	// is power (paper: 0.20).
+	PowerShareOfCost float64
+	// TransmissionShareOfPower is the fraction of power expense due to
+	// transmission and distribution (paper: 0.50).
+	TransmissionShareOfPower float64
+	// CurtailmentRate is the fraction of renewable generation curtailed by
+	// grid operators (paper: up to 0.06 and rising).
+	CurtailmentRate float64
+	// EnergyPricePerMWh is the wholesale energy price used to value
+	// captured curtailment.
+	EnergyPricePerMWh float64
+}
+
+// DefaultCostModel returns the paper's cited values with a 40 $/MWh price.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		PowerShareOfCost:         0.20,
+		TransmissionShareOfPower: 0.50,
+		CurtailmentRate:          0.06,
+		EnergyPricePerMWh:        40,
+	}
+}
+
+// Validate reports model errors.
+func (m CostModel) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"power share", m.PowerShareOfCost},
+		{"transmission share", m.TransmissionShareOfPower},
+		{"curtailment rate", m.CurtailmentRate},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("econ: %s %v outside [0,1]", f.name, f.v)
+		}
+	}
+	if m.EnergyPricePerMWh < 0 {
+		return fmt.Errorf("econ: negative energy price %v", m.EnergyPricePerMWh)
+	}
+	return nil
+}
+
+// TransmissionSavingFraction is the fraction of total data-center cost that
+// co-location removes: power share x transmission share (paper: ~10%).
+func (m CostModel) TransmissionSavingFraction() float64 {
+	return m.PowerShareOfCost * m.TransmissionShareOfPower
+}
+
+// CurtailmentValue returns the value of curtailed energy a VB can capture
+// from the given generation series (MW), in the model's currency: curtailed
+// MWh times price.
+func (m CostModel) CurtailmentValue(generation trace.Series) (curtailedMWh, value float64, err error) {
+	if err := m.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if generation.IsEmpty() {
+		return 0, 0, trace.ErrEmptySeries
+	}
+	curtailedMWh = generation.Energy() * m.CurtailmentRate
+	return curtailedMWh, curtailedMWh * m.EnergyPricePerMWh, nil
+}

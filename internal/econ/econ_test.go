@@ -1,0 +1,67 @@
+package econ
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/vbcloud/vb/internal/trace"
+)
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := DefaultCostModel().Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []CostModel{
+		{PowerShareOfCost: -0.1},
+		{PowerShareOfCost: 0.2, TransmissionShareOfPower: 1.5},
+		{PowerShareOfCost: 0.2, TransmissionShareOfPower: 0.5, CurtailmentRate: 2},
+		{PowerShareOfCost: 0.2, TransmissionShareOfPower: 0.5, CurtailmentRate: 0.05, EnergyPricePerMWh: -1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+// TestPaperSavingClaim reproduces §2.1: 20% of cost is power x 50% of power
+// is transmission = ~10% total saving.
+func TestPaperSavingClaim(t *testing.T) {
+	got := DefaultCostModel().TransmissionSavingFraction()
+	if math.Abs(got-0.10) > 1e-9 {
+		t.Errorf("transmission saving = %v, want 0.10", got)
+	}
+}
+
+func TestCurtailmentValue(t *testing.T) {
+	start := time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+	// 100 MW for 10 hours = 1000 MWh; 6% curtailed = 60 MWh; at 40/MWh =
+	// 2400.
+	vals := make([]float64, 10)
+	for i := range vals {
+		vals[i] = 100
+	}
+	gen := trace.FromValues(start, time.Hour, vals)
+	mwh, value, err := DefaultCostModel().CurtailmentValue(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mwh-60) > 1e-9 {
+		t.Errorf("curtailed = %v MWh, want 60", mwh)
+	}
+	if math.Abs(value-2400) > 1e-9 {
+		t.Errorf("value = %v, want 2400", value)
+	}
+	if _, _, err := DefaultCostModel().CurtailmentValue(trace.Series{}); err == nil {
+		t.Error("empty series should error")
+	}
+	bad := DefaultCostModel()
+	bad.CurtailmentRate = 3
+	if _, _, err := bad.CurtailmentValue(gen); err == nil {
+		t.Error("invalid model should error")
+	}
+}

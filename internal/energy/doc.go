@@ -1,0 +1,24 @@
+// Package energy provides generative models of renewable power production,
+// standing in for the ELIA (Belgium, 15-minute) and EMHIRES (Europe-wide)
+// datasets used by the Virtual Battery paper (HotNets '21, §2.2–§2.3).
+//
+// Two source models are provided:
+//
+//   - Solar: a latitude- and season-aware clear-sky envelope modulated by a
+//     Markov-regime cloud process (sunny / variable / overcast days), which
+//     reproduces the diurnal pattern, overcast collapses, and spiky variable
+//     days of the paper's Figure 2a, plus the >50% zero samples and heavy
+//     tail of Figure 2b.
+//
+//   - Wind: an Ornstein–Uhlenbeck wind-speed process (a fast turbulent
+//     component riding on a slow synoptic component) passed through a
+//     standard turbine power curve, yielding sharp peaks and valleys that
+//     rarely reach zero, with a low median — the paper's wind signature.
+//
+// Sites are instantiated inside a World, which supplies regional weather
+// drivers so that nearby same-source sites correlate while distant sites and
+// different sources decorrelate — the property §2.3 exploits to reduce
+// aggregate variability ("multi-VB").
+//
+// All randomness is deterministic given the World seed.
+package energy

@@ -1,0 +1,114 @@
+package energy
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Source identifies a renewable energy source type.
+type Source int
+
+// Supported source types.
+const (
+	Solar Source = iota
+	Wind
+)
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	switch s {
+	case Solar:
+		return "solar"
+	case Wind:
+		return "wind"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// SiteConfig describes one renewable generation site (a farm with a
+// co-located VB mini data center in the paper's architecture).
+type SiteConfig struct {
+	// Name identifies the site (e.g. "NO-solar").
+	Name string
+	// Source is the generation technology.
+	Source Source
+	// Latitude and Longitude in degrees place the site for both the solar
+	// geometry and the latency/correlation structure.
+	Latitude  float64
+	Longitude float64
+	// CapacityMW is the peak (nameplate) capacity. The paper assumes 400 MW
+	// per site — the median peak capacity of large farms — when it needs
+	// absolute energy numbers.
+	CapacityMW float64
+}
+
+// DefaultCapacityMW is the per-site peak capacity the paper assumes (§2.3).
+const DefaultCapacityMW = 400
+
+// Validate reports configuration errors.
+func (c SiteConfig) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("energy: site needs a name")
+	}
+	if c.Source != Solar && c.Source != Wind {
+		return fmt.Errorf("energy: site %s: unknown source %d", c.Name, int(c.Source))
+	}
+	if c.Latitude < -90 || c.Latitude > 90 {
+		return fmt.Errorf("energy: site %s: latitude %v out of range", c.Name, c.Latitude)
+	}
+	if c.Longitude < -180 || c.Longitude > 180 {
+		return fmt.Errorf("energy: site %s: longitude %v out of range", c.Name, c.Longitude)
+	}
+	if c.CapacityMW <= 0 {
+		return fmt.Errorf("energy: site %s: capacity %v must be positive", c.Name, c.CapacityMW)
+	}
+	return nil
+}
+
+// earthRadiusKM is the mean Earth radius.
+const earthRadiusKM = 6371
+
+// DistanceKM returns the great-circle distance between two sites using the
+// haversine formula.
+func DistanceKM(a, b SiteConfig) float64 {
+	lat1 := a.Latitude * math.Pi / 180
+	lat2 := b.Latitude * math.Pi / 180
+	dLat := lat2 - lat1
+	dLon := (b.Longitude - a.Longitude) * math.Pi / 180
+	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKM * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// LatencyMS estimates the round-trip (ping) latency between two sites in
+// milliseconds, matching the paper's "<50 ms ping latency" edge criterion:
+// propagation at ~2/3 c over 1.5x the great-circle path (fiber routes are
+// not straight), both ways, plus a fixed 4 ms of equipment delay.
+func LatencyMS(a, b SiteConfig) float64 {
+	const (
+		fiberSpeedKMperMS = 200 // ~2/3 of c
+		routeStretch      = 1.5 // fiber path vs great circle
+		equipmentMS       = 4.0 // switching/termination overhead, round trip
+	)
+	return 2*DistanceKM(a, b)*routeStretch/fiberSpeedKMperMS + equipmentMS
+}
+
+// dayOfYear returns the 1-based ordinal day of t (UTC).
+func dayOfYear(t time.Time) int {
+	return t.UTC().YearDay()
+}
+
+// solarDeclination returns the solar declination angle in radians for the
+// given ordinal day (Cooper's formula).
+func solarDeclination(doy int) float64 {
+	return 23.45 * math.Pi / 180 * math.Sin(2*math.Pi*float64(284+doy)/365)
+}
+
+// solarElevationSin returns sin(solar elevation) for the given latitude
+// (radians), declination (radians) and solar hour angle (radians, 0 at solar
+// noon). Negative values mean the sun is below the horizon.
+func solarElevationSin(latRad, decl, hourAngle float64) float64 {
+	return math.Sin(latRad)*math.Sin(decl) + math.Cos(latRad)*math.Cos(decl)*math.Cos(hourAngle)
+}

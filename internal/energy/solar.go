@@ -1,0 +1,79 @@
+package energy
+
+import (
+	"math"
+	"time"
+
+	"github.com/vbcloud/vb/internal/trace"
+)
+
+// Solar model constants. The clear-sky envelope follows standard solar
+// geometry (declination + hour angle -> elevation); the cloud model maps the
+// latent daily regime and intra-day field to a transmittance factor.
+const (
+	// airMassExponent sharpens the envelope near sunrise/sunset to mimic
+	// atmospheric attenuation at low sun angles.
+	airMassExponent = 1.2
+)
+
+// genSolar produces a normalized solar power series for one site. daily is a
+// standard-normal latent per day (higher = cloudier); fast is a
+// standard-normal latent per step driving intra-day fluctuation.
+func genSolar(cfg SiteConfig, start time.Time, step time.Duration, n, stepsPerDay int, daily, fast []float64) trace.Series {
+	out := trace.New(start, step, n)
+	latRad := cfg.Latitude * math.Pi / 180
+
+	// Normalize the envelope by this latitude's best possible noon
+	// elevation (summer solstice) so the normalized output can reach ~1.0
+	// on a perfect summer day.
+	maxDecl := 23.45 * math.Pi / 180
+	bestNoon := solarElevationSin(latRad, maxDecl, 0)
+	if bestNoon <= 0 {
+		bestNoon = 1e-3 // polar-night site: envelope will stay ~0 anyway
+	}
+
+	for i := 0; i < n; i++ {
+		t := out.TimeAt(i).UTC()
+		doy := dayOfYear(t)
+		decl := solarDeclination(doy)
+
+		// Solar time: offset UTC by longitude (15 degrees per hour).
+		solarHour := float64(t.Hour()) + float64(t.Minute())/60 + cfg.Longitude/15
+		hourAngle := (solarHour - 12) / 24 * 2 * math.Pi
+
+		elev := solarElevationSin(latRad, decl, hourAngle)
+		if elev <= 0 {
+			continue // night
+		}
+		envelope := math.Pow(elev/bestNoon, airMassExponent)
+		if envelope > 1 {
+			envelope = 1
+		}
+
+		dayIdx := i / stepsPerDay
+		if dayIdx >= len(daily) {
+			dayIdx = len(daily) - 1
+		}
+		out.Values[i] = envelope * transmittance(classifyRegime(daily[dayIdx]), fast[i])
+	}
+	return out
+}
+
+// transmittance converts the day regime and the intra-day latent into a
+// cloud transmittance factor in [0, 1]:
+//
+//   - sunny days sit near 0.9 with gentle variation,
+//   - variable days swing across most of the range (spiky production),
+//   - overcast days collapse to a few percent of capacity, matching the
+//     paper's observed 3.5% overcast peak vs 77% the following day.
+func transmittance(r regime, z float64) float64 {
+	switch r {
+	case regimeSunny:
+		return 0.86 + 0.11*logistic(z, 0, 1.2)
+	case regimeVariable:
+		// Wide logistic swing: heavy clouds passing between clear spells.
+		return 0.10 + 0.88*logistic(z, 0.2, 1.6)
+	default: // overcast
+		return 0.02 + 0.16*logistic(z, 0, 1.0)
+	}
+}

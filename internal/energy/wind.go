@@ -1,0 +1,76 @@
+package energy
+
+import (
+	"math"
+	"time"
+
+	"github.com/vbcloud/vb/internal/trace"
+)
+
+// Turbine power-curve and wind-speed model constants. The speed process is
+// lognormal around a seasonally and diurnally modulated mean, driven by a
+// synoptic (shared, ~36 h) and a mesoscale (local, ~4 h) latent; the power
+// curve is the standard cubic ramp between cut-in and rated speed.
+//
+// The diurnal term (stronger wind at night) and the seasonal term (stronger
+// wind in winter) are the physical sources of the solar/wind complementarity
+// the paper's §2.3 exploits: "using different energy sources (e.g., wind vs.
+// solar at night time)".
+const (
+	meanWindSpeed = 8.2  // m/s, typical onshore site average
+	windSigma     = 0.45 // lognormal shape: spread of speeds
+	synWeight     = 0.80 // share of the latent from the synoptic driver
+	mesoWeight    = 0.60 // share from the mesoscale driver (0.8^2+0.6^2=1)
+
+	diurnalAmp  = 0.18 // night-vs-day swing of mean speed
+	seasonalAmp = 0.25 // winter-vs-summer swing of mean speed
+
+	cutInSpeed  = 3.0  // m/s: no power below
+	ratedSpeed  = 12.5 // m/s: full power at and above
+	cutOutSpeed = 25.0 // m/s: turbine shuts down above (storm protection)
+)
+
+// genWind produces a normalized wind power series for one site. syn and meso
+// are standard-normal latents per step.
+func genWind(cfg SiteConfig, start time.Time, step time.Duration, n int, syn, meso []float64) trace.Series {
+	out := trace.New(start, step, n)
+	for i := 0; i < n; i++ {
+		t := out.TimeAt(i).UTC()
+		z := synWeight*syn[i] + mesoWeight*meso[i]
+		// exp(sigma*z - sigma^2/2) has mean 1, so speeds average the
+		// modulated mean with a right-skewed (Weibull-like) distribution.
+		v := baseSpeed(cfg, t) * math.Exp(windSigma*z-windSigma*windSigma/2)
+		out.Values[i] = powerCurve(v)
+	}
+	return out
+}
+
+// baseSpeed returns the deterministic mean wind speed at time t for the
+// site: the climatological mean boosted at night (local solar time) and in
+// winter (northern-hemisphere phase; mirrored south of the equator).
+func baseSpeed(cfg SiteConfig, t time.Time) float64 {
+	localHour := float64(t.Hour()) + float64(t.Minute())/60 + cfg.Longitude/15
+	// Peak near 02:00 local, trough near 14:00.
+	diurnal := 1 + diurnalAmp*math.Cos(2*math.Pi*(localHour-2)/24)
+	phase := float64(dayOfYear(t) - 15)
+	seasonal := 1 + seasonalAmp*math.Cos(2*math.Pi*phase/365)
+	if cfg.Latitude < 0 {
+		seasonal = 1 - seasonalAmp*math.Cos(2*math.Pi*phase/365)
+	}
+	return meanWindSpeed * diurnal * seasonal
+}
+
+// powerCurve maps wind speed (m/s) to the fraction of nameplate output using
+// the standard cubic region between cut-in and rated speed.
+func powerCurve(v float64) float64 {
+	switch {
+	case v < cutInSpeed, v >= cutOutSpeed:
+		return 0
+	case v >= ratedSpeed:
+		return 1
+	default:
+		ci3 := cutInSpeed * cutInSpeed * cutInSpeed
+		r3 := ratedSpeed * ratedSpeed * ratedSpeed
+		return (v*v*v - ci3) / (r3 - ci3)
+	}
+}

@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The paper notes that identifying dense subgraphs "has been a well-studied
+// problem in literature with tractable approximate solutions" (citing
+// densest k-subgraph work). Exhaustive k-clique enumeration works for small
+// fleets; the peeling routines below scale to large ones.
+
+// DensestSubgraph returns the vertex set maximizing average degree density
+// (edges over vertices) using Charikar's greedy peeling, a 2-approximation:
+// repeatedly remove the minimum-degree vertex and keep the best prefix.
+func (g *Graph) DensestSubgraph() ([]int, float64) {
+	n := len(g.sites)
+	deg := make([]int, n)
+	alive := make([]bool, n)
+	edges := 0
+	for i := 0; i < n; i++ {
+		alive[i] = true
+		deg[i] = g.Degree(i)
+		edges += deg[i]
+	}
+	edges /= 2
+
+	type snapshot struct {
+		removed int // vertex removed at this step (-1 for initial)
+	}
+	order := make([]snapshot, 0, n)
+	bestDensity := density(edges, n)
+	bestStep := 0 // number of removals in the best prefix
+
+	curEdges, curN := edges, n
+	for step := 1; step <= n; step++ {
+		// Find minimum-degree alive vertex.
+		min := -1
+		for v := 0; v < n; v++ {
+			if alive[v] && (min < 0 || deg[v] < deg[min]) {
+				min = v
+			}
+		}
+		if min < 0 {
+			break
+		}
+		alive[min] = false
+		curEdges -= deg[min]
+		curN--
+		for u := 0; u < n; u++ {
+			if alive[u] && g.adj[min][u] {
+				deg[u]--
+			}
+		}
+		order = append(order, snapshot{removed: min})
+		if d := density(curEdges, curN); d > bestDensity {
+			bestDensity = d
+			bestStep = step
+		}
+	}
+
+	// Reconstruct the best prefix: all vertices minus the first bestStep
+	// removals.
+	removed := make(map[int]bool, bestStep)
+	for i := 0; i < bestStep; i++ {
+		removed[order[i].removed] = true
+	}
+	var out []int
+	for v := 0; v < n; v++ {
+		if !removed[v] {
+			out = append(out, v)
+		}
+	}
+	return out, bestDensity
+}
+
+func density(edges, vertices int) float64 {
+	if vertices == 0 {
+		return 0
+	}
+	return float64(edges) / float64(vertices)
+}
+
+// DenseGroup greedily extracts a well-connected group of exactly k sites:
+// peel minimum-degree vertices until k remain. This is the tractable
+// approximation the paper alludes to for subgraph identification on large
+// fleets, where enumerating all k-cliques is too expensive. The returned
+// group is sorted; an error is returned when k is out of range.
+func (g *Graph) DenseGroup(k int) ([]int, error) {
+	n := len(g.sites)
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("graph: dense group size %d outside [1, %d]", k, n)
+	}
+	deg := make([]int, n)
+	alive := make([]bool, n)
+	for i := 0; i < n; i++ {
+		alive[i] = true
+		deg[i] = g.Degree(i)
+	}
+	for remaining := n; remaining > k; remaining-- {
+		min := -1
+		for v := 0; v < n; v++ {
+			if alive[v] && (min < 0 || deg[v] < deg[min]) {
+				min = v
+			}
+		}
+		alive[min] = false
+		for u := 0; u < n; u++ {
+			if alive[u] && g.adj[min][u] {
+				deg[u]--
+			}
+		}
+	}
+	var out []int
+	for v := 0; v < n; v++ {
+		if alive[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// IsClique reports whether the given vertex set is fully connected.
+func (g *Graph) IsClique(nodes []int) bool {
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if !g.Connected(nodes[i], nodes[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"testing"
+
+	"github.com/vbcloud/vb/internal/energy"
+)
+
+// ringWithCore builds sites where {0,1,2} form a tight triangle and the
+// rest are isolated singletons far away.
+func ringWithCore() []energy.SiteConfig {
+	sites := []energy.SiteConfig{
+		{Name: "A", Source: energy.Wind, Latitude: 50.0, Longitude: 4.0, CapacityMW: 400},
+		{Name: "B", Source: energy.Wind, Latitude: 50.2, Longitude: 4.2, CapacityMW: 400},
+		{Name: "C", Source: energy.Solar, Latitude: 50.1, Longitude: 4.4, CapacityMW: 400},
+		{Name: "X", Source: energy.Wind, Latitude: 37.0, Longitude: 23.0, CapacityMW: 400},
+		{Name: "Y", Source: energy.Solar, Latitude: 60.5, Longitude: 25.0, CapacityMW: 400},
+	}
+	return sites
+}
+
+func TestDensestSubgraphFindsCore(t *testing.T) {
+	g, err := New(ringWithCore(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, dens := g.DensestSubgraph()
+	if len(nodes) != 3 {
+		t.Fatalf("densest = %v, want the triangle {0,1,2}", nodes)
+	}
+	for i, want := range []int{0, 1, 2} {
+		if nodes[i] != want {
+			t.Fatalf("densest = %v, want [0 1 2]", nodes)
+		}
+	}
+	// Triangle density: 3 edges / 3 vertices = 1.
+	if dens != 1 {
+		t.Errorf("density = %v, want 1", dens)
+	}
+	if !g.IsClique(nodes) {
+		t.Error("triangle should be a clique")
+	}
+}
+
+func TestDensestSubgraphEmptyGraph(t *testing.T) {
+	// A graph with no edges: density 0, any single vertex is optimal.
+	sites := ringWithCore()
+	g, err := New(sites, 4.1) // below any pair latency
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, dens := g.DensestSubgraph()
+	if dens != 0 {
+		t.Errorf("edgeless density = %v, want 0", dens)
+	}
+	if len(nodes) == 0 {
+		t.Error("should still return vertices")
+	}
+}
+
+func TestDenseGroup(t *testing.T) {
+	g, err := New(ringWithCore(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group, err := g.DenseGroup(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(group) != 3 || group[0] != 0 || group[1] != 1 || group[2] != 2 {
+		t.Errorf("dense group = %v, want [0 1 2]", group)
+	}
+	if _, err := g.DenseGroup(0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := g.DenseGroup(6); err == nil {
+		t.Error("k>n should error")
+	}
+	all, err := g.DenseGroup(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 {
+		t.Errorf("k=n should return everything, got %v", all)
+	}
+}
+
+func TestDenseGroupLargeFleet(t *testing.T) {
+	// The 12-site European fleet at the paper's 50 ms threshold: peeling
+	// must return a group whose members are mutually closer than average.
+	fleet := energy.EuropeanFleet(12)
+	g, err := New(fleet, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group, err := g.DenseGroup(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(group) != 4 {
+		t.Fatalf("group = %v", group)
+	}
+	// Internal edge count of the peeled group should beat a random spread
+	// group's (take the 4 corner-most sites by index distance as a rough
+	// contrast, and at minimum require better-than-half connectivity).
+	edges := 0
+	for i := 0; i < len(group); i++ {
+		for j := i + 1; j < len(group); j++ {
+			if g.Connected(group[i], group[j]) {
+				edges++
+			}
+		}
+	}
+	if edges < 4 {
+		t.Errorf("dense group has only %d/6 internal edges", edges)
+	}
+}
+
+func TestIsCliqueNegative(t *testing.T) {
+	g, err := New(ringWithCore(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.IsClique([]int{0, 1, 3}) {
+		t.Error("0-1-3 spans clusters and cannot be a clique")
+	}
+	if !g.IsClique([]int{2}) {
+		t.Error("singleton is trivially a clique")
+	}
+}

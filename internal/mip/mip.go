@@ -1,0 +1,218 @@
+// Package mip implements a branch-and-bound mixed-integer programming
+// solver on top of internal/lp. It supports the problem shapes the paper's
+// scheduler needs (§3.1): binary site-selection indicators combined with
+// continuous allocation variables, and minimax (peak) objectives expressed
+// through auxiliary variables.
+package mip
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"github.com/vbcloud/vb/internal/lp"
+)
+
+// Problem is a linear program plus integrality constraints.
+type Problem struct {
+	lp.Problem
+	// Integer[i] marks variable i as integer-constrained. A nil slice means
+	// a pure LP. Shorter slices are zero (false) padded.
+	Integer []bool
+}
+
+// Options tunes the branch-and-bound search.
+type Options struct {
+	// MaxNodes caps the number of explored nodes (0 = default 200000).
+	MaxNodes int
+	// Gap is the relative optimality gap at which search stops early
+	// (0 = prove optimality exactly, up to tolerance).
+	Gap float64
+}
+
+// Solution reports the MIP result.
+type Solution struct {
+	Status lp.Status
+	// X is the best integer-feasible assignment found.
+	X []float64
+	// Objective is its objective value in the problem's own sense.
+	Objective float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+	// Proven is true when optimality was proven (tree exhausted within the
+	// gap), false when the node limit truncated the search.
+	Proven bool
+}
+
+const intTol = 1e-6
+
+// node is a branch-and-bound subproblem: extra variable bounds layered on
+// the root problem.
+type node struct {
+	bound  float64 // LP relaxation value (minimization sense)
+	extras []lp.Constraint
+}
+
+// nodeQueue is a best-first priority queue on the LP bound.
+type nodeQueue []*node
+
+func (q nodeQueue) Len() int            { return len(q) }
+func (q nodeQueue) Less(i, j int) bool  { return q[i].bound < q[j].bound }
+func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(*node)) }
+func (q *nodeQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Solve runs branch and bound.
+func Solve(p Problem, opt Options) (Solution, error) {
+	if err := p.Problem.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if len(p.Integer) > p.NumVars {
+		return Solution{}, fmt.Errorf("mip: %d integrality flags for %d vars", len(p.Integer), p.NumVars)
+	}
+	maxNodes := opt.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 200000
+	}
+
+	// Work in minimization sense internally.
+	base := p.Problem
+	if base.Maximize {
+		neg := make([]float64, len(base.Objective))
+		for i, c := range base.Objective {
+			neg[i] = -c
+		}
+		base.Objective = neg
+		base.Maximize = false
+	}
+
+	integer := make([]bool, p.NumVars)
+	copy(integer, p.Integer)
+
+	res := Solution{Status: lp.Infeasible, Objective: math.Inf(1)}
+	incumbent := math.Inf(1)
+
+	q := &nodeQueue{}
+	heap.Push(q, &node{bound: math.Inf(-1)})
+	sawUnbounded := false
+
+	for q.Len() > 0 && res.Nodes < maxNodes {
+		nd := heap.Pop(q).(*node)
+		// Bound prune: best-first means if this node's bound is already
+		// worse than the incumbent we are done globally.
+		if nd.bound >= incumbent-intTol {
+			res.Proven = true
+			break
+		}
+		res.Nodes++
+
+		sub := base
+		sub.Constraints = append(append([]lp.Constraint(nil), base.Constraints...), nd.extras...)
+		sol, err := lp.Solve(sub)
+		if err != nil {
+			return Solution{}, err
+		}
+		switch sol.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			// The relaxation is unbounded. If the root is unbounded the
+			// MIP may be unbounded or infeasible; record and continue
+			// (branching cannot bound a truly unbounded integer problem,
+			// so report it).
+			sawUnbounded = true
+			continue
+		}
+		if sol.Objective >= incumbent-intTol {
+			continue
+		}
+		// Find the most fractional integer variable.
+		branchVar := -1
+		worst := intTol
+		for i := 0; i < p.NumVars; i++ {
+			if !integer[i] {
+				continue
+			}
+			frac := math.Abs(sol.X[i] - math.Round(sol.X[i]))
+			if frac > worst {
+				worst = frac
+				branchVar = i
+			}
+		}
+		if branchVar < 0 {
+			// Integer feasible: new incumbent.
+			incumbent = sol.Objective
+			res.Status = lp.Optimal
+			res.X = roundIntegers(sol.X, integer)
+			res.Objective = sol.Objective
+			if opt.Gap > 0 && q.Len() > 0 {
+				best := (*q)[0].bound
+				if relGap(incumbent, best) <= opt.Gap {
+					res.Proven = true
+					return finish(res, p), nil
+				}
+			}
+			continue
+		}
+		// Branch.
+		v := sol.X[branchVar]
+		down := make([]float64, branchVar+1)
+		down[branchVar] = 1
+		left := append(append([]lp.Constraint(nil), nd.extras...),
+			lp.Constraint{Coeffs: down, Sense: lp.LE, RHS: math.Floor(v)})
+		right := append(append([]lp.Constraint(nil), nd.extras...),
+			lp.Constraint{Coeffs: down, Sense: lp.GE, RHS: math.Ceil(v)})
+		heap.Push(q, &node{bound: sol.Objective, extras: left})
+		heap.Push(q, &node{bound: sol.Objective, extras: right})
+	}
+	if q.Len() == 0 {
+		res.Proven = true
+	}
+	if res.Status != lp.Optimal && sawUnbounded {
+		res.Status = lp.Unbounded
+		res.Proven = false
+	}
+	return finish(res, p), nil
+}
+
+// finish converts the internal minimization value back to the problem's own
+// sense.
+func finish(res Solution, p Problem) Solution {
+	if p.Maximize && res.Status == lp.Optimal {
+		res.Objective = -res.Objective
+	}
+	if res.Status != lp.Optimal {
+		res.X = nil
+		res.Objective = 0
+	}
+	return res
+}
+
+// roundIntegers snaps integer variables to the nearest integer (they are
+// within tolerance already) and clamps tiny negatives.
+func roundIntegers(x []float64, integer []bool) []float64 {
+	out := append([]float64(nil), x...)
+	for i := range out {
+		if integer[i] {
+			out[i] = math.Round(out[i])
+		}
+		if out[i] < 0 && out[i] > -intTol {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+func relGap(incumbent, bound float64) float64 {
+	if math.IsInf(bound, -1) {
+		return math.Inf(1)
+	}
+	den := math.Max(1, math.Abs(incumbent))
+	return (incumbent - bound) / den
+}

@@ -1,0 +1,260 @@
+// Package plot renders time series and CDFs as ASCII charts, so the
+// paper's figures come out of the benchmark harness and CLI tools as
+// pictures, not just numbers.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/vbcloud/vb/internal/stats"
+	"github.com/vbcloud/vb/internal/trace"
+)
+
+// Options controls chart geometry.
+type Options struct {
+	// Width and Height are the plot area in characters (defaults 72x16).
+	Width, Height int
+	// Title is printed above the chart.
+	Title string
+	// YLabel annotates the axis (printed with the range).
+	YLabel string
+	// LogY plots log10 of positive values (zeros clamp to the floor).
+	LogY bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 72
+	}
+	if o.Height <= 0 {
+		o.Height = 16
+	}
+	if o.Width > 400 {
+		o.Width = 400
+	}
+	if o.Height > 100 {
+		o.Height = 100
+	}
+	return o
+}
+
+// Series renders one series as an ASCII line chart.
+func Series(s trace.Series, opt Options) (string, error) {
+	if s.IsEmpty() {
+		return "", trace.ErrEmptySeries
+	}
+	return Multi([]trace.Series{s}, []string{""}, opt)
+}
+
+// markers distinguish overlaid series.
+var markers = []rune{'*', '+', 'o', 'x', '#', '@'}
+
+// Multi renders up to six series (same time base) overlaid, with a legend.
+func Multi(series []trace.Series, names []string, opt Options) (string, error) {
+	if len(series) == 0 {
+		return "", trace.ErrEmptySeries
+	}
+	if len(series) > len(markers) {
+		return "", fmt.Errorf("plot: at most %d series, got %d", len(markers), len(series))
+	}
+	if len(names) != len(series) {
+		return "", fmt.Errorf("plot: %d names for %d series", len(names), len(series))
+	}
+	o := opt.withDefaults()
+
+	// Value transform and range.
+	tr := func(v float64) float64 { return v }
+	if o.LogY {
+		tr = func(v float64) float64 {
+			if v <= 0 {
+				return math.Inf(-1) // clamped to floor later
+			}
+			return math.Log10(v)
+		}
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	n := 0
+	for _, s := range series {
+		if s.IsEmpty() {
+			return "", trace.ErrEmptySeries
+		}
+		if s.Len() > n {
+			n = s.Len()
+		}
+		for _, v := range s.Values {
+			tv := tr(v)
+			if math.IsInf(tv, -1) {
+				continue
+			}
+			if tv < lo {
+				lo = tv
+			}
+			if tv > hi {
+				hi = tv
+			}
+		}
+	}
+	if math.IsInf(lo, 1) { // all zeros under LogY
+		lo, hi = 0, 1
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]rune, o.Height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", o.Width))
+	}
+	for si, s := range series {
+		mark := markers[si]
+		for col := 0; col < o.Width; col++ {
+			// Sample the series at this column.
+			idx := col * (s.Len() - 1) / max(1, o.Width-1)
+			if idx >= s.Len() {
+				idx = s.Len() - 1
+			}
+			tv := tr(s.Values[idx])
+			if math.IsInf(tv, -1) {
+				tv = lo
+			}
+			frac := (tv - lo) / (hi - lo)
+			row := o.Height - 1 - int(frac*float64(o.Height-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row >= o.Height {
+				row = o.Height - 1
+			}
+			grid[row][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	if o.Title != "" {
+		fmt.Fprintf(&b, "%s\n", o.Title)
+	}
+	yHi, yLo := hi, lo
+	suffix := ""
+	if o.LogY {
+		suffix = " (log10)"
+	}
+	for r, row := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%7.3g ", yHi)
+		} else if r == o.Height-1 {
+			label = fmt.Sprintf("%7.3g ", yLo)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "        +%s\n", strings.Repeat("-", o.Width))
+	first := series[0]
+	fmt.Fprintf(&b, "        %s .. %s%s\n",
+		first.Start.Format("2006-01-02 15:04"), first.End().Format("2006-01-02 15:04"), suffix)
+	if o.YLabel != "" {
+		fmt.Fprintf(&b, "        y: %s\n", o.YLabel)
+	}
+	legend := ""
+	for i, name := range names {
+		if name == "" {
+			continue
+		}
+		legend += fmt.Sprintf("  %c %s", markers[i], name)
+	}
+	if legend != "" {
+		fmt.Fprintf(&b, "       %s\n", legend)
+	}
+	return b.String(), nil
+}
+
+// CDFs renders one or more CDF point sets (x on the horizontal axis, P on
+// the vertical) as an ASCII chart.
+func CDFs(sets map[string][]stats.Point, opt Options) (string, error) {
+	if len(sets) == 0 {
+		return "", fmt.Errorf("plot: no CDFs")
+	}
+	o := opt.withDefaults()
+	// Order names deterministically.
+	names := make([]string, 0, len(sets))
+	for name := range sets {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	if len(names) > len(markers) {
+		return "", fmt.Errorf("plot: at most %d CDFs, got %d", len(markers), len(names))
+	}
+
+	xLo, xHi := math.Inf(1), math.Inf(-1)
+	for _, pts := range sets {
+		for _, p := range pts {
+			if p.X < xLo {
+				xLo = p.X
+			}
+			if p.X > xHi {
+				xHi = p.X
+			}
+		}
+	}
+	if math.IsInf(xLo, 1) || xHi == xLo {
+		xHi = xLo + 1
+	}
+
+	grid := make([][]rune, o.Height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", o.Width))
+	}
+	for si, name := range names {
+		mark := markers[si]
+		pts := sets[name]
+		for _, p := range pts {
+			col := int((p.X - xLo) / (xHi - xLo) * float64(o.Width-1))
+			row := o.Height - 1 - int(p.Y*float64(o.Height-1)+0.5)
+			if col < 0 || col >= o.Width || row < 0 || row >= o.Height {
+				continue
+			}
+			grid[row][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	if o.Title != "" {
+		fmt.Fprintf(&b, "%s\n", o.Title)
+	}
+	for r, row := range grid {
+		label := "      "
+		if r == 0 {
+			label = "  1.0 "
+		} else if r == o.Height-1 {
+			label = "  0.0 "
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "      +%s\n", strings.Repeat("-", o.Width))
+	left := fmt.Sprintf("x: %.3g", xLo)
+	right := fmt.Sprintf("%.3g", xHi)
+	pad := max(1, o.Width-len(left)-len(right))
+	fmt.Fprintf(&b, "      %s%s%s\n", left, strings.Repeat(" ", pad), right)
+	legend := ""
+	for i, name := range names {
+		legend += fmt.Sprintf("  %c %s", markers[i], name)
+	}
+	fmt.Fprintf(&b, "     %s\n", legend)
+	return b.String(), nil
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,138 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/vbcloud/vb/internal/stats"
+	"github.com/vbcloud/vb/internal/trace"
+)
+
+var t0 = time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func ramp(n int) trace.Series {
+	s := trace.New(t0, time.Hour, n)
+	for i := range s.Values {
+		s.Values[i] = float64(i)
+	}
+	return s
+}
+
+func TestSeriesBasic(t *testing.T) {
+	out, err := Series(ramp(48), Options{Title: "ramp", Width: 40, Height: 8, YLabel: "value"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ramp") || !strings.Contains(out, "y: value") {
+		t.Error("missing title or label")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + 8 rows + axis + time + label = 12.
+	if len(lines) != 12 {
+		t.Errorf("line count = %d, want 12", len(lines))
+	}
+	// A ramp puts a mark in the top-right and bottom-left of the plot area.
+	top := lines[1]
+	bottom := lines[8]
+	if !strings.Contains(top, "*") || !strings.Contains(bottom, "*") {
+		t.Errorf("ramp should reach both extremes:\n%s", out)
+	}
+	// Range labels present.
+	if !strings.Contains(lines[1], "47") || !strings.Contains(lines[8], "0") {
+		t.Errorf("y-range labels missing:\n%s", out)
+	}
+}
+
+func TestSeriesErrors(t *testing.T) {
+	if _, err := Series(trace.Series{}, Options{}); err == nil {
+		t.Error("empty series should error")
+	}
+}
+
+func TestMultiLegendAndMarkers(t *testing.T) {
+	a := ramp(24)
+	b := a.Scale(2)
+	out, err := Multi([]trace.Series{a, b}, []string{"solar", "wind"}, Options{Width: 30, Height: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "* solar") || !strings.Contains(out, "+ wind") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if _, err := Multi(nil, nil, Options{}); err == nil {
+		t.Error("no series should error")
+	}
+	if _, err := Multi([]trace.Series{a}, []string{"a", "b"}, Options{}); err == nil {
+		t.Error("name mismatch should error")
+	}
+	seven := make([]trace.Series, 7)
+	names := make([]string, 7)
+	for i := range seven {
+		seven[i] = a
+	}
+	if _, err := Multi(seven, names, Options{}); err == nil {
+		t.Error("too many series should error")
+	}
+}
+
+func TestLogY(t *testing.T) {
+	s := trace.FromValues(t0, time.Hour, []float64{0, 1, 10, 100, 1000})
+	out, err := Series(s, Options{LogY: true, Width: 20, Height: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "log10") {
+		t.Error("log axis note missing")
+	}
+}
+
+func TestConstantSeries(t *testing.T) {
+	s := trace.FromValues(t0, time.Hour, []float64{5, 5, 5})
+	if _, err := Series(s, Options{}); err != nil {
+		t.Fatalf("constant series should plot: %v", err)
+	}
+	zeros := trace.FromValues(t0, time.Hour, []float64{0, 0})
+	if _, err := Series(zeros, Options{LogY: true}); err != nil {
+		t.Fatalf("all-zero LogY should plot: %v", err)
+	}
+}
+
+func TestCDFs(t *testing.T) {
+	c1, err := stats.NewCDF([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := stats.NewCDF([]float64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := CDFs(map[string][]stats.Point{
+		"greedy": c1.Points(20),
+		"mip":    c2.Points(20),
+	}, Options{Title: "Fig 7", Width: 40, Height: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Fig 7") || !strings.Contains(out, "greedy") || !strings.Contains(out, "mip") {
+		t.Errorf("chart incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "1.0") || !strings.Contains(out, "0.0") {
+		t.Error("probability axis labels missing")
+	}
+	if _, err := CDFs(nil, Options{}); err == nil {
+		t.Error("no CDFs should error")
+	}
+}
+
+func TestGeometryClamps(t *testing.T) {
+	s := ramp(10)
+	out, err := Series(s, Options{Width: 100000, Height: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) > 120 {
+		t.Errorf("height should clamp, got %d lines", len(lines))
+	}
+}

@@ -1,0 +1,398 @@
+// Package sim is the multi-site simulation engine: it drives the core
+// scheduler with actual power traces and forecast bundles, executes planned
+// and forced migrations, and records the per-step migration traffic that the
+// paper's Table 1 and Figure 7 report.
+//
+// The engine distinguishes three kinds of capacity events at a site:
+//
+//   - planned reallocation: the scheduler's plan moves an app's cores
+//     between sites (traffic = moved cores x memory per core);
+//   - forced migration: actual power fell below the allocation, degradable
+//     cores pause for free (the paper's harvest/spot behaviour) and stable
+//     cores migrate to sites with headroom;
+//   - pause: stable cores with nowhere to go pause in place, which is an
+//     availability violation the result records.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/vbcloud/vb/internal/core"
+	"github.com/vbcloud/vb/internal/forecast"
+	"github.com/vbcloud/vb/internal/stats"
+	"github.com/vbcloud/vb/internal/trace"
+)
+
+// Input bundles everything one policy run needs.
+type Input struct {
+	// Actual holds one normalized power series per site, all on the plan
+	// timeline (same start, step = the scheduler's PlanStep).
+	Actual []trace.Series
+	// Bundles holds the forecast bundle per site (used by MIP policies).
+	Bundles []*forecast.Bundle
+	// TotalCores is the fully powered core count of each site.
+	TotalCores float64
+	// Apps are the application demands, sorted by Start.
+	Apps []core.AppDemand
+}
+
+// Validate reports input errors.
+func (in Input) Validate() error {
+	if len(in.Actual) == 0 {
+		return fmt.Errorf("sim: no sites")
+	}
+	if len(in.Bundles) != len(in.Actual) {
+		return fmt.Errorf("sim: %d bundles for %d sites", len(in.Bundles), len(in.Actual))
+	}
+	if in.TotalCores <= 0 {
+		return fmt.Errorf("sim: non-positive core count %v", in.TotalCores)
+	}
+	base := in.Actual[0]
+	if base.IsEmpty() {
+		return trace.ErrEmptySeries
+	}
+	for _, s := range in.Actual[1:] {
+		if s.Step != base.Step || s.Len() != base.Len() || !s.Start.Equal(base.Start) {
+			return fmt.Errorf("sim: power series disagree on time base")
+		}
+	}
+	for _, a := range in.Apps {
+		if err := a.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of one policy run.
+type Result struct {
+	Policy core.Policy
+	// Transfer is total migration traffic per plan step, in GB.
+	Transfer trace.Series
+	// PerApp is total migration traffic per application, in GB.
+	PerApp map[int]float64
+	// PlannedGB and ForcedGB split the total into scheduler-initiated
+	// reallocations and reactive power-shortfall migrations.
+	PlannedGB float64
+	ForcedGB  float64
+	// InBySite and OutBySite break the traffic down per site: a move of X
+	// GB from site a to site b adds X to OutBySite[a] and InBySite[b] at
+	// that step (the per-site view of the paper's Fig 4 applied to the
+	// multi-VB run). Summing either across sites reproduces Transfer.
+	InBySite  []trace.Series
+	OutBySite []trace.Series
+	// PausedStableCoreSteps counts stable cores that had to pause
+	// (availability violations) integrated over steps.
+	PausedStableCoreSteps float64
+	// PerAppPaused breaks the paused core-steps down by application.
+	PerAppPaused map[int]float64
+	// PerAppDemand is each application's total demanded stable core-steps
+	// over its active window; with PerAppPaused it yields availability.
+	PerAppDemand map[int]float64
+	// ShortfallCoreSteps counts demanded cores the scheduler could not
+	// place at all.
+	ShortfallCoreSteps float64
+	// Placements counts scheduler invocations (placements + replans).
+	Placements int
+}
+
+// Summary computes the paper's Table 1 row: total, 99th percentile, peak
+// and standard deviation of per-step transfer (GB).
+func (r Result) Summary() (total, p99, peak, std float64, err error) {
+	s, err := stats.Summarize(r.Transfer.Values)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return s.Total, s.P99, s.Max, s.Std, nil
+}
+
+// ZeroFraction is the fraction of steps with no migration traffic (Fig 7's
+// CDF intercept).
+func (r Result) ZeroFraction() float64 { return r.Transfer.FractionZero(1e-9) }
+
+// Availability returns the fraction of an application's demanded stable
+// core-steps that were actually served (1 = never paused or shorted). It
+// returns 1 for apps with no recorded demand.
+func (r Result) Availability(appID int) float64 {
+	d := r.PerAppDemand[appID]
+	if d <= 0 {
+		return 1
+	}
+	av := 1 - r.PerAppPaused[appID]/d
+	if av < 0 {
+		return 0
+	}
+	return av
+}
+
+// MeanAvailability averages Availability over all applications with
+// recorded demand (1 when there are none).
+func (r Result) MeanAvailability() float64 {
+	if len(r.PerAppDemand) == 0 {
+		return 1
+	}
+	var sum float64
+	for id := range r.PerAppDemand {
+		sum += r.Availability(id)
+	}
+	return sum / float64(len(r.PerAppDemand))
+}
+
+// Run simulates one policy over the inputs.
+func Run(cfg core.Config, in Input) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	base := in.Actual[0]
+	if cfg.PlanStep != base.Step {
+		return Result{}, fmt.Errorf("sim: plan step %v != power step %v", cfg.PlanStep, base.Step)
+	}
+	numSites := len(in.Actual)
+	T := base.Len()
+	sched, err := core.NewScheduler(cfg, numSites, T)
+	if err != nil {
+		return Result{}, err
+	}
+	util := effectiveUtil(cfg)
+
+	res := Result{
+		Policy:       cfg.Policy,
+		Transfer:     trace.New(base.Start, base.Step, T),
+		PerApp:       make(map[int]float64),
+		PerAppPaused: make(map[int]float64),
+		PerAppDemand: make(map[int]float64),
+	}
+	res.InBySite = make([]trace.Series, numSites)
+	res.OutBySite = make([]trace.Series, numSites)
+	for i := 0; i < numSites; i++ {
+		res.InBySite[i] = trace.New(base.Start, base.Step, T)
+		res.OutBySite[i] = trace.New(base.Start, base.Step, T)
+	}
+
+	// Per-app state.
+	type appState struct {
+		demand  core.AppDemand
+		plan    core.Plan
+		cur     []float64 // current cores per site
+		endStep int
+	}
+	var active []*appState
+	nextApp := 0
+	apps := append([]core.AppDemand(nil), in.Apps...)
+	sort.Slice(apps, func(i, j int) bool { return apps[i].Start.Before(apps[j].Start) })
+
+	stepsPerDay := int(24 * time.Hour / base.Step)
+	if stepsPerDay < 1 {
+		stepsPerDay = 1
+	}
+
+	actCap := func(site, t int) float64 {
+		return util * in.Actual[site].Values[t] * in.TotalCores
+	}
+
+	for t := 0; t < T; t++ {
+		now := base.TimeAt(t)
+		// predCap is the forecast at face value; stableCap is the rolling
+		// minimum with lead-dependent pessimism — the paper's "place VMs
+		// on sites which are predicted to have stable power in the
+		// future" preference (see capacityFns).
+		predCap, stableCap := capacityFns(in, base, util, now, t, stepsPerDay, T)
+
+		// Retire finished apps.
+		keep := active[:0]
+		for _, a := range active {
+			if t >= a.endStep {
+				continue
+			}
+			keep = append(keep, a)
+		}
+		active = keep
+
+		// Daily re-planning as forecasts refresh ("as the environment
+		// changes ... we need to rerun the optimization", §3.1). All MIP
+		// variants replan; they differ in lookahead horizon.
+		if cfg.Policy != core.Greedy && t > 0 && t%stepsPerDay == 0 {
+			for _, a := range active {
+				sched.Uncommit(a.plan, t)
+				plan, err := sched.Place(a.demand, t, a.endStep, predCap, stableCap, a.cur, a.plan.Alloc)
+				if err != nil {
+					return Result{}, err
+				}
+				a.plan = plan
+				res.Placements++
+			}
+		}
+
+		// Admit arriving apps.
+		for nextApp < len(apps) && !apps[nextApp].Start.After(now) {
+			d := apps[nextApp]
+			nextApp++
+			endStep := T
+			if !d.End.IsZero() {
+				if e := base.IndexAt(d.End); e >= 0 {
+					endStep = e + 1
+				}
+			}
+			if endStep <= t {
+				continue // app entirely in the past
+			}
+			if d.StableCores <= 0 {
+				continue // pure-degradable apps never migrate (no traffic)
+			}
+			plan, err := sched.Place(d, t, endStep, predCap, stableCap, nil, nil)
+			if err != nil {
+				return Result{}, err
+			}
+			st := &appState{demand: d, plan: plan, cur: make([]float64, numSites), endStep: endStep}
+			// Initial placement is free (the VMs boot where scheduled).
+			for s := 0; s < numSites; s++ {
+				st.cur[s] = plan.Alloc[s][t]
+			}
+			active = append(active, st)
+			res.Placements++
+		}
+
+		// Current per-site load.
+		load := make([]float64, numSites)
+		for _, a := range active {
+			for s := 0; s < numSites; s++ {
+				load[s] += a.cur[s]
+			}
+		}
+
+		// Execute planned reallocations, gated by *actual* headroom at the
+		// destination: a planned move into a site that in reality has no
+		// power simply does not happen this step (no phantom traffic), and
+		// the cores stay at their source until the plan becomes executable.
+		for _, a := range active {
+			if a.plan.Alloc == nil {
+				continue
+			}
+			for dst := 0; dst < numSites; dst++ {
+				want := a.plan.Alloc[dst][t] - a.cur[dst]
+				// Sub-core wants are LP rounding noise, not real moves.
+				if want <= 1e-4 {
+					continue
+				}
+				head := actCap(dst, t) - load[dst]
+				if head <= 1e-9 {
+					continue
+				}
+				want = math.Min(want, head)
+				// Pull cores from sites holding more than their target.
+				for src := 0; src < numSites && want > 1e-9; src++ {
+					if src == dst {
+						continue
+					}
+					excess := a.cur[src] - a.plan.Alloc[src][t]
+					if excess <= 1e-9 {
+						continue
+					}
+					x := math.Min(excess, want)
+					a.cur[src] -= x
+					a.cur[dst] += x
+					load[src] -= x
+					load[dst] += x
+					want -= x
+					gb := x * a.demand.MemGBPerCore
+					res.Transfer.Values[t] += gb
+					res.PerApp[a.demand.ID] += gb
+					res.PlannedGB += gb
+					res.InBySite[dst].Values[t] += gb
+					res.OutBySite[src].Values[t] += gb
+				}
+			}
+		}
+		for s := 0; s < numSites; s++ {
+			over := load[s] - actCap(s, t)
+			if over <= 1e-9 {
+				continue
+			}
+			// All tracked cores are stable (degradable VMs pause in place
+			// for free and are not tracked here): migrate the overflow to
+			// sites with actual headroom.
+			for _, a := range active {
+				if over <= 1e-9 {
+					break
+				}
+				move := math.Min(a.cur[s], over)
+				if move <= 1e-9 {
+					continue
+				}
+				moved := 0.0
+				for d := 0; d < numSites && move-moved > 1e-9; d++ {
+					if d == s {
+						continue
+					}
+					head := actCap(d, t) - load[d]
+					if head <= 1e-9 {
+						continue
+					}
+					x := math.Min(head, move-moved)
+					a.cur[s] -= x
+					a.cur[d] += x
+					load[s] -= x
+					load[d] += x
+					moved += x
+					gb := x * a.demand.MemGBPerCore
+					res.Transfer.Values[t] += gb
+					res.PerApp[a.demand.ID] += gb
+					res.ForcedGB += gb
+					res.InBySite[d].Values[t] += gb
+					res.OutBySite[s].Values[t] += gb
+				}
+				// Whatever could not move pauses in place: availability
+				// violation.
+				rest := move - moved
+				if rest > 1e-9 {
+					res.PausedStableCoreSteps += rest
+					res.PerAppPaused[a.demand.ID] += rest
+				}
+				over -= move
+			}
+		}
+		// Greedy has no forward plan: after forced moves, the VMs stay
+		// where they landed. Rewrite the plan's future to the new reality
+		// so later steps do not try to "move back".
+		if cfg.Policy == core.Greedy {
+			for _, a := range active {
+				sched.Uncommit(a.plan, t)
+				for s := 0; s < numSites; s++ {
+					for tt := t; tt < a.endStep; tt++ {
+						a.plan.Alloc[s][tt] = a.cur[s]
+					}
+				}
+				sched.Commit(a.plan, t)
+			}
+		}
+
+		// Record scheduler shortfall (stable demand the plan itself left
+		// unplaced) and accumulate per-app demand for availability.
+		for _, a := range active {
+			var placed float64
+			for s := 0; s < numSites; s++ {
+				placed += a.cur[s]
+			}
+			if gap := a.demand.StableCores - placed; gap > 1e-9 {
+				res.ShortfallCoreSteps += gap
+				res.PerAppPaused[a.demand.ID] += gap
+			}
+			res.PerAppDemand[a.demand.ID] += a.demand.StableCores
+		}
+	}
+	return res, nil
+}
+
+// effectiveUtil mirrors core.Config's utilization defaulting.
+func effectiveUtil(cfg core.Config) float64 {
+	if cfg.UtilTarget <= 0 || cfg.UtilTarget > 1 {
+		return 0.7
+	}
+	return cfg.UtilTarget
+}

@@ -1,0 +1,333 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/vbcloud/vb/internal/cluster"
+	"github.com/vbcloud/vb/internal/core"
+	"github.com/vbcloud/vb/internal/forecast"
+	"github.com/vbcloud/vb/internal/trace"
+	"github.com/vbcloud/vb/internal/workload"
+)
+
+// VMLevelResult reports a high-fidelity run where individual VMs are placed
+// on real cluster simulators (server packing, fragmentation, round-robin
+// eviction) while the co-scheduler steers aggregate allocations. Comparing
+// it against Run's core-granularity results validates that the scheduler's
+// fluid model survives contact with discrete VMs.
+type VMLevelResult struct {
+	Policy core.Policy
+	// Transfer is migration traffic per plan step in GB (actual VM memory
+	// moved between sites).
+	Transfer trace.Series
+	// Moves counts inter-site VM migrations.
+	Moves int
+	// FailedPlacements counts VM-steps where a stable VM could not run
+	// anywhere (fragmentation or true capacity shortage).
+	FailedPlacements int
+	// Fragmentation is the mean end-of-step fragmentation score across
+	// sites (see cluster.Snapshot).
+	Fragmentation float64
+}
+
+// RunVMLevel simulates one policy at VM granularity. Apps supplies the
+// discrete VMs behind in.Apps (matched by App ID); only Stable-class VMs
+// are scheduled, as in Run. clusterCfg describes each site's hardware.
+func RunVMLevel(cfg core.Config, in Input, apps []workload.App, clusterCfg cluster.Config) (VMLevelResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return VMLevelResult{}, err
+	}
+	if err := in.Validate(); err != nil {
+		return VMLevelResult{}, err
+	}
+	if err := clusterCfg.Validate(); err != nil {
+		return VMLevelResult{}, err
+	}
+	base := in.Actual[0]
+	if cfg.PlanStep != base.Step {
+		return VMLevelResult{}, fmt.Errorf("sim: plan step %v != power step %v", cfg.PlanStep, base.Step)
+	}
+	numSites := len(in.Actual)
+	T := base.Len()
+	sched, err := core.NewScheduler(cfg, numSites, T)
+	if err != nil {
+		return VMLevelResult{}, err
+	}
+	util := effectiveUtil(cfg)
+
+	sites := make([]*cluster.Site, numSites)
+	for i := range sites {
+		if sites[i], err = cluster.New(clusterCfg); err != nil {
+			return VMLevelResult{}, err
+		}
+	}
+
+	res := VMLevelResult{
+		Policy:   cfg.Policy,
+		Transfer: trace.New(base.Start, base.Step, T),
+	}
+
+	// Index apps and their stable VMs.
+	type appState struct {
+		demand  core.AppDemand
+		plan    core.Plan
+		vms     []workload.VM // stable VMs only
+		endStep int
+		started bool
+	}
+	byID := map[int]*appState{}
+	var order []*appState
+	for _, d := range in.Apps {
+		st := &appState{demand: d, endStep: T}
+		if !d.End.IsZero() {
+			if e := base.IndexAt(d.End); e >= 0 {
+				st.endStep = e + 1
+			}
+		}
+		byID[d.ID] = st
+		order = append(order, st)
+	}
+	for _, a := range apps {
+		st, ok := byID[a.ID]
+		if !ok {
+			continue
+		}
+		for _, vm := range a.VMs {
+			if vm.Class == workload.Stable {
+				st.vms = append(st.vms, vm)
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].demand.Start.Before(order[j].demand.Start) })
+
+	// vmSite tracks where each stable VM runs (-1 = not running).
+	vmSite := map[int]int{}
+	stepsPerDay := int(24 * time.Hour / base.Step)
+	if stepsPerDay < 1 {
+		stepsPerDay = 1
+	}
+
+	for t := 0; t < T; t++ {
+		now := base.TimeAt(t)
+		predCap, stableCap := capacityFns(in, base, util, now, t, stepsPerDay, T)
+
+		// 1. Apply power to every site. Evicted VMs are marked displaced
+		// (site -1) and re-homed in step 4.
+		for sIdx, site := range sites {
+			for _, vm := range site.SetPowerEvict(in.Actual[sIdx].Values[t]) {
+				vmSite[vm.ID] = -1
+			}
+		}
+
+		// 2. Plan: admit arriving apps; replan daily for MIP policies.
+		for _, st := range order {
+			if st.started || st.demand.Start.After(now) || t >= st.endStep {
+				continue
+			}
+			if st.demand.StableCores > 0 {
+				plan, err := sched.Place(st.demand, t, st.endStep, predCap, stableCap, nil, nil)
+				if err != nil {
+					return VMLevelResult{}, err
+				}
+				st.plan = plan
+			}
+			st.started = true
+		}
+		if cfg.Policy != core.Greedy && t > 0 && t%stepsPerDay == 0 {
+			for _, st := range order {
+				if !st.started || t >= st.endStep || st.plan.Alloc == nil {
+					continue
+				}
+				cur := make([]float64, numSites)
+				for _, vm := range st.vms {
+					if s, ok := vmSite[vm.ID]; ok && s >= 0 {
+						cur[s] += float64(vm.Cores)
+					}
+				}
+				sched.Uncommit(st.plan, t)
+				plan, err := sched.Place(st.demand, t, st.endStep, predCap, stableCap, cur, st.plan.Alloc)
+				if err != nil {
+					return VMLevelResult{}, err
+				}
+				st.plan = plan
+			}
+		}
+
+		// 3. Reconcile each app's VMs against its plan: move VMs from
+		// over-target sites to under-target sites with real headroom.
+		for _, st := range order {
+			if !st.started || t >= st.endStep || st.plan.Alloc == nil {
+				continue
+			}
+			res.reconcile(st.vms, st.plan, t, sites, vmSite)
+		}
+
+		// 4. Re-home displaced VMs and start never-placed VMs at their
+		// app's planned sites (or anywhere with room).
+		for _, st := range order {
+			if !st.started || t >= st.endStep {
+				continue
+			}
+			for _, vm := range st.vms {
+				if s, ok := vmSite[vm.ID]; ok && s >= 0 {
+					continue
+				}
+				if end := vm.End(); !end.IsZero() && !end.After(now) {
+					continue
+				}
+				placed := placeVM(vm, st.plan, t, sites, vmSite)
+				if placed >= 0 {
+					// Relaunch after displacement costs traffic; first
+					// boot is free.
+					if _, seen := vmSite[vm.ID]; seen {
+						gb := float64(vm.MemoryGB)
+						res.Transfer.Values[t] += gb
+						res.Moves++
+					}
+					vmSite[vm.ID] = placed
+				} else {
+					res.FailedPlacements++
+				}
+			}
+		}
+
+		// 5. Departures.
+		for _, st := range order {
+			for _, vm := range st.vms {
+				if s, ok := vmSite[vm.ID]; ok && s >= 0 {
+					if end := vm.End(); !end.IsZero() && !end.After(now) {
+						sites[s].Remove(vm.ID)
+						delete(vmSite, vm.ID)
+					}
+				}
+			}
+		}
+
+		// Fragmentation bookkeeping.
+		var frag float64
+		for _, site := range sites {
+			frag += site.Snapshot().Fragmentation
+		}
+		res.Fragmentation += frag / float64(numSites)
+	}
+	res.Fragmentation /= float64(T)
+	return res, nil
+}
+
+// reconcile moves an app's VMs between sites until per-site core sums are
+// within one VM of the plan, charging traffic for each move.
+func (r *VMLevelResult) reconcile(vms []workload.VM, plan core.Plan, t int, sites []*cluster.Site, vmSite map[int]int) {
+	numSites := len(sites)
+	cur := make([]float64, numSites)
+	bySite := make([][]workload.VM, numSites)
+	for _, vm := range vms {
+		if s, ok := vmSite[vm.ID]; ok && s >= 0 {
+			cur[s] += float64(vm.Cores)
+			bySite[s] = append(bySite[s], vm)
+		}
+	}
+	for src := 0; src < numSites; src++ {
+		over := cur[src] - plan.Alloc[src][t]
+		for _, vm := range bySite[src] {
+			if over < float64(vm.Cores) {
+				continue // moving this VM would overshoot
+			}
+			// Find the most under-target destination that admits it.
+			dst, worst := -1, 1e-9
+			for d := 0; d < numSites; d++ {
+				if d == src {
+					continue
+				}
+				if under := plan.Alloc[d][t] - cur[d]; under > worst {
+					dst, worst = d, under
+				}
+			}
+			if dst < 0 {
+				break
+			}
+			if !sites[dst].Admit(vm) {
+				continue // fragmentation or admission refuses; stay put
+			}
+			sites[src].Remove(vm.ID)
+			vmSite[vm.ID] = dst
+			cur[src] -= float64(vm.Cores)
+			cur[dst] += float64(vm.Cores)
+			over -= float64(vm.Cores)
+			gb := float64(vm.MemoryGB)
+			r.Transfer.Values[t] += gb
+			r.Moves++
+		}
+	}
+}
+
+// placeVM starts a VM at the app's most under-target site with room,
+// falling back to any site that admits it. It returns the site index or -1.
+func placeVM(vm workload.VM, plan core.Plan, t int, sites []*cluster.Site, vmSite map[int]int) int {
+	numSites := len(sites)
+	type cand struct {
+		site  int
+		under float64
+	}
+	cands := make([]cand, 0, numSites)
+	for s := 0; s < numSites; s++ {
+		under := 0.0
+		if plan.Alloc != nil {
+			under = plan.Alloc[s][t]
+		}
+		cands = append(cands, cand{site: s, under: under})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].under > cands[j].under })
+	for _, c := range cands {
+		if sites[c.site].Admit(vm) {
+			return c.site
+		}
+	}
+	return -1
+}
+
+// capacityFns builds the forecast-driven capacity estimators shared by the
+// core-level and VM-level engines.
+func capacityFns(in Input, base trace.Series, util float64, now time.Time, t, stepsPerDay, T int) (predCap, stableCap core.CapacityFn) {
+	margin := func(lead time.Duration) float64 {
+		switch {
+		case lead <= forecast.Horizon3H:
+			return 0.03
+		case lead <= forecast.HorizonDay:
+			return 0.10
+		default:
+			return 0.18
+		}
+	}
+	predCap = func(site, step int) float64 {
+		v, ok := in.Bundles[site].PredictAt(now, base.TimeAt(step))
+		if !ok {
+			v = 0
+		}
+		return util * v * in.TotalCores
+	}
+	stableCap = func(site, step int) float64 {
+		target := base.TimeAt(step)
+		lead := target.Sub(now)
+		v := math.Inf(1)
+		for st := step - 1; st <= step+1; st++ {
+			if st < 0 || st >= T {
+				continue
+			}
+			pv, ok := in.Bundles[site].PredictAt(now, base.TimeAt(st))
+			if !ok {
+				pv = 0
+			}
+			if pv < v {
+				v = pv
+			}
+		}
+		if math.IsInf(v, 1) {
+			v = 0
+		}
+		return (1 - margin(lead)) * util * v * in.TotalCores
+	}
+	return predCap, stableCap
+}

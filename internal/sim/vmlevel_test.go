@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/vbcloud/vb/internal/cluster"
+	"github.com/vbcloud/vb/internal/core"
+	"github.com/vbcloud/vb/internal/workload"
+)
+
+// vmLevelFixtures builds matched (Input, []workload.App) pairs.
+func vmLevelFixtures(t *testing.T, days int) (Input, []workload.App) {
+	t.Helper()
+	in := trioInput(t, days, 0.001) // placeholder demand list replaced below
+	apps, err := workload.GenerateApps(workload.AppConfig{
+		Seed:           11,
+		Start:          t0,
+		Duration:       time.Duration(days) * 24 * time.Hour,
+		MeanAppsPerDay: 6,
+		MeanVMsPerApp:  60,
+		StableFraction: 0.7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands := make([]core.AppDemand, 0, len(apps))
+	for _, a := range apps {
+		demands = append(demands, core.AppDemand{
+			ID:           a.ID,
+			Cores:        float64(a.TotalCores()),
+			StableCores:  float64(a.StableCores()),
+			MemGBPerCore: float64(a.TotalMemoryGB()) / float64(a.TotalCores()),
+			Start:        a.Arrival,
+		})
+	}
+	in.Apps = demands
+	return in, apps
+}
+
+func TestRunVMLevelErrors(t *testing.T) {
+	in, apps := vmLevelFixtures(t, 2)
+	if _, err := RunVMLevel(core.Config{}, in, apps, cluster.DefaultConfig()); err == nil {
+		t.Error("bad config should error")
+	}
+	if _, err := RunVMLevel(simConfig(core.MIP), in, apps, cluster.Config{}); err == nil {
+		t.Error("bad cluster config should error")
+	}
+	bad := in
+	bad.Actual = nil
+	if _, err := RunVMLevel(simConfig(core.MIP), bad, apps, cluster.DefaultConfig()); err == nil {
+		t.Error("bad input should error")
+	}
+	cfg := simConfig(core.MIP)
+	cfg.PlanStep = time.Hour
+	if _, err := RunVMLevel(cfg, in, apps, cluster.DefaultConfig()); err == nil {
+		t.Error("step mismatch should error")
+	}
+}
+
+// TestRunVMLevelTracksCoreLevel runs both engines on the same scenario: the
+// VM-level totals should be within a small factor of the fluid model's, the
+// policy ordering (MIP below greedy) should survive, and discrete VMs must
+// nearly all find homes.
+func TestRunVMLevelTracksCoreLevel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two engines x two policies")
+	}
+	in, apps := vmLevelFixtures(t, 7)
+	totals := map[core.Policy][2]float64{}
+	for _, pol := range []core.Policy{core.Greedy, core.MIP} {
+		fluid, err := Run(simConfig(pol), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vmres, err := RunVMLevel(simConfig(pol), in, apps, cluster.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ft, _, _, _, err := fluid.Summary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		totals[pol] = [2]float64{ft, vmres.Transfer.Total()}
+		if vmres.Moves == 0 && vmres.Transfer.Total() > 0 {
+			t.Errorf("%v: traffic without moves", pol)
+		}
+		if vmres.Fragmentation < 0 || vmres.Fragmentation > 1 {
+			t.Errorf("%v: fragmentation %v outside [0,1]", pol, vmres.Fragmentation)
+		}
+		// Few failed placements relative to total VM-steps.
+		if vmres.FailedPlacements > 4000 {
+			t.Errorf("%v: %d failed placements", pol, vmres.FailedPlacements)
+		}
+	}
+	// Ordering preserved at VM level.
+	if totals[core.MIP][1] >= totals[core.Greedy][1] {
+		t.Errorf("VM-level MIP %v should beat greedy %v",
+			totals[core.MIP][1], totals[core.Greedy][1])
+	}
+	// VM-level totals within 4x of fluid (discretization and relaunch
+	// accounting differ, but the scale must agree).
+	for pol, v := range totals {
+		ratio := v[1] / v[0]
+		if ratio < 0.25 || ratio > 4 {
+			t.Errorf("%v: VM-level %v vs fluid %v (ratio %.2f) out of range", pol, v[1], v[0], ratio)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	a := mkSeries(0.5, 0.25, 0.125)
+	b := mkSeries(1, 2, 3)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []string{"solar", "wind"}, a, b); err != nil {
+		t.Fatal(err)
+	}
+	names, got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "solar" || names[1] != "wind" {
+		t.Fatalf("names = %v", names)
+	}
+	if got[0].Step != 15*time.Minute {
+		t.Errorf("step = %v", got[0].Step)
+	}
+	if !got[0].Start.Equal(t0) {
+		t.Errorf("start = %v", got[0].Start)
+	}
+	for i := range a.Values {
+		if got[0].Values[i] != a.Values[i] || got[1].Values[i] != b.Values[i] {
+			t.Fatalf("values mismatch at %d: %v %v", i, got[0].Values, got[1].Values)
+		}
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []string{"a"}, mkSeries(1), mkSeries(2)); err == nil {
+		t.Error("name/series count mismatch should error")
+	}
+	if err := WriteCSV(&buf, nil); err == nil {
+		t.Error("no series should error")
+	}
+	if err := WriteCSV(&buf, []string{"a", "b"}, mkSeries(1, 2), FromValues(t0, time.Hour, []float64{1, 2})); err == nil {
+		t.Error("incompatible series should error")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"time,a\n",
+		"x,a\n2020-01-01T00:00:00Z,1\n2020-01-01T01:00:00Z,2\n",
+		"time,a\nnot-a-time,1\nnot-a-time,2\n",
+		"time,a\n2020-01-01T00:00:00Z,xyz\n2020-01-01T01:00:00Z,2\n",
+		"time,a\n2020-01-01T01:00:00Z,1\n2020-01-01T00:00:00Z,2\n", // negative step
+	}
+	for i, c := range cases {
+		if _, _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := mkSeries(0.1, 0.9, 0)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Series
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != s.Step || !got.Start.Equal(s.Start) || got.Len() != s.Len() {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i := range s.Values {
+		if got.Values[i] != s.Values[i] {
+			t.Fatalf("values[%d] = %v", i, got.Values[i])
+		}
+	}
+}
+
+func TestJSONUnmarshalBad(t *testing.T) {
+	var s Series
+	if err := json.Unmarshal([]byte(`{"start": 12`), &s); err == nil {
+		t.Error("bad JSON should error")
+	}
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rolling-window operations. Unlike the WindowMin/WindowMax reductions
+// (which downsample to one value per window), these produce a series of the
+// same length where each sample is the statistic of a centered window —
+// the form the scheduler's stable-capacity estimates use.
+
+// RollingMin returns a same-length series where sample i is the minimum of
+// the samples within radius of i (window 2*radius+1, shrunk at the edges).
+func (s Series) RollingMin(radius int) Series {
+	return s.rolling(radius, func(acc, v float64) float64 {
+		if v < acc {
+			return v
+		}
+		return acc
+	}, false)
+}
+
+// RollingMax returns a same-length series of centered-window maxima.
+func (s Series) RollingMax(radius int) Series {
+	return s.rolling(radius, func(acc, v float64) float64 {
+		if v > acc {
+			return v
+		}
+		return acc
+	}, false)
+}
+
+// RollingMean returns a same-length series of centered-window means. It is
+// equivalent to Smooth and provided for symmetry.
+func (s Series) RollingMean(radius int) Series {
+	return s.Smooth(radius)
+}
+
+// rolling applies a fold over centered windows. When mean is true the fold
+// result is divided by the window size.
+func (s Series) rolling(radius int, fold func(acc, v float64) float64, mean bool) Series {
+	if radius <= 0 {
+		return s.Clone()
+	}
+	out := s.Clone()
+	for i := range s.Values {
+		lo, hi := i-radius, i+radius
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= s.Len() {
+			hi = s.Len() - 1
+		}
+		acc := s.Values[lo]
+		for j := lo + 1; j <= hi; j++ {
+			acc = fold(acc, s.Values[j])
+		}
+		if mean {
+			acc /= float64(hi - lo + 1)
+		}
+		out.Values[i] = acc
+	}
+	return out
+}
+
+// Lag returns the series shifted by k samples: positive k delays the series
+// (sample i takes the value of sample i-k); leading samples repeat the
+// first value. Negative k advances it symmetrically.
+func (s Series) Lag(k int) Series {
+	out := s.Clone()
+	n := s.Len()
+	if n == 0 || k == 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		j := i - k
+		if j < 0 {
+			j = 0
+		}
+		if j >= n {
+			j = n - 1
+		}
+		out.Values[i] = s.Values[j]
+	}
+	return out
+}
+
+// Normalize rescales the series linearly onto [0, 1]. A constant series
+// maps to all zeros.
+func (s Series) Normalize() Series {
+	out := s.Clone()
+	if s.IsEmpty() {
+		return out
+	}
+	lo, hi := s.Min(), s.Max()
+	if hi == lo {
+		for i := range out.Values {
+			out.Values[i] = 0
+		}
+		return out
+	}
+	for i, v := range out.Values {
+		out.Values[i] = (v - lo) / (hi - lo)
+	}
+	return out
+}
+
+// CrossCorrelation returns the Pearson correlation of a and b at lags
+// -maxLag..+maxLag (2*maxLag+1 values): entry maxLag+k correlates a with b
+// delayed by k samples. Useful for finding the offset at which two sites'
+// production is most complementary.
+func CrossCorrelation(a, b Series, maxLag int) ([]float64, error) {
+	if err := compatible(a, b); err != nil {
+		return nil, err
+	}
+	if maxLag < 0 {
+		return nil, fmt.Errorf("trace: negative max lag %d", maxLag)
+	}
+	if a.Len() <= maxLag {
+		return nil, fmt.Errorf("trace: series of length %d too short for lag %d", a.Len(), maxLag)
+	}
+	out := make([]float64, 2*maxLag+1)
+	for k := -maxLag; k <= maxLag; k++ {
+		out[maxLag+k] = pearsonAtLag(a.Values, b.Values, k)
+	}
+	return out, nil
+}
+
+// pearsonAtLag correlates x[i] with y[i-k] over the overlapping range.
+func pearsonAtLag(x, y []float64, k int) float64 {
+	lo, hi := 0, len(x)
+	if k > 0 {
+		lo = k
+	} else {
+		hi = len(x) + k
+	}
+	n := hi - lo
+	if n <= 1 {
+		return 0
+	}
+	var mx, my float64
+	for i := lo; i < hi; i++ {
+		mx += x[i]
+		my += y[i-k]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var sxy, sxx, syy float64
+	for i := lo; i < hi; i++ {
+		dx, dy := x[i]-mx, y[i-k]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRollingMin(t *testing.T) {
+	s := mkSeries(5, 1, 4, 2, 8)
+	r := s.RollingMin(1)
+	want := []float64{1, 1, 1, 2, 2}
+	for i := range want {
+		if r.Values[i] != want[i] {
+			t.Fatalf("RollingMin = %v, want %v", r.Values, want)
+		}
+	}
+	// Zero radius is the identity (deep copy).
+	id := s.RollingMin(0)
+	id.Values[0] = 99
+	if s.Values[0] == 99 {
+		t.Error("identity rolling must not alias")
+	}
+}
+
+func TestRollingMax(t *testing.T) {
+	s := mkSeries(5, 1, 4, 2, 8)
+	r := s.RollingMax(1)
+	want := []float64{5, 5, 4, 8, 8}
+	for i := range want {
+		if r.Values[i] != want[i] {
+			t.Fatalf("RollingMax = %v, want %v", r.Values, want)
+		}
+	}
+}
+
+func TestRollingMeanMatchesSmooth(t *testing.T) {
+	s := mkSeries(1, 2, 3, 4, 5, 6)
+	a := s.RollingMean(2)
+	b := s.Smooth(2)
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatal("RollingMean should equal Smooth")
+		}
+	}
+}
+
+func TestLag(t *testing.T) {
+	s := mkSeries(1, 2, 3, 4)
+	d := s.Lag(1) // delayed: [1 1 2 3]
+	want := []float64{1, 1, 2, 3}
+	for i := range want {
+		if d.Values[i] != want[i] {
+			t.Fatalf("Lag(1) = %v, want %v", d.Values, want)
+		}
+	}
+	a := s.Lag(-1) // advanced: [2 3 4 4]
+	want = []float64{2, 3, 4, 4}
+	for i := range want {
+		if a.Values[i] != want[i] {
+			t.Fatalf("Lag(-1) = %v, want %v", a.Values, want)
+		}
+	}
+	if got := s.Lag(0); got.Values[2] != 3 {
+		t.Error("Lag(0) identity")
+	}
+	var empty Series
+	if got := empty.Lag(3); got.Len() != 0 {
+		t.Error("empty Lag")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	s := mkSeries(10, 20, 30)
+	n := s.Normalize()
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if math.Abs(n.Values[i]-want[i]) > 1e-12 {
+			t.Fatalf("Normalize = %v, want %v", n.Values, want)
+		}
+	}
+	c := mkSeries(7, 7, 7).Normalize()
+	for _, v := range c.Values {
+		if v != 0 {
+			t.Fatal("constant series should normalize to zeros")
+		}
+	}
+	var empty Series
+	if got := empty.Normalize(); got.Len() != 0 {
+		t.Error("empty Normalize")
+	}
+}
+
+func TestCrossCorrelation(t *testing.T) {
+	// b is a delayed by 2: peak correlation at lag +2.
+	n := 64
+	av := make([]float64, n)
+	bv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		av[i] = math.Sin(2 * math.Pi * float64(i) / 16)
+		bv[i] = math.Sin(2 * math.Pi * float64(i-2) / 16)
+	}
+	a := FromValues(t0, time.Hour, av)
+	b := FromValues(t0, time.Hour, bv)
+	xc, err := CrossCorrelation(a, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xc) != 9 {
+		t.Fatalf("len = %d, want 9", len(xc))
+	}
+	best := 0
+	for i := range xc {
+		if xc[i] > xc[best] {
+			best = i
+		}
+	}
+	// b delayed by 2 means b[i-(-2)] = b[i+2] aligns... entry maxLag+k
+	// correlates a[i] with b[i-k]; a[i] == b[i+2] so the peak is at
+	// k = -2, index 4-2 = 2.
+	if best != 2 {
+		t.Errorf("peak at lag index %d (k=%d), want 2 (k=-2): %v", best, best-4, xc)
+	}
+	if xc[best] < 0.99 {
+		t.Errorf("peak correlation = %v, want ~1", xc[best])
+	}
+}
+
+func TestCrossCorrelationErrors(t *testing.T) {
+	a := mkSeries(1, 2, 3)
+	b := FromValues(t0, time.Hour, []float64{1, 2, 3})
+	if _, err := CrossCorrelation(a, b, 1); err == nil {
+		t.Error("incompatible series should error")
+	}
+	if _, err := CrossCorrelation(a, a, -1); err == nil {
+		t.Error("negative lag should error")
+	}
+	if _, err := CrossCorrelation(a, a, 5); err == nil {
+		t.Error("lag beyond length should error")
+	}
+}
+
+// Property: RollingMin <= original <= RollingMax pointwise, and both are
+// monotone in radius.
+func TestPropRollingBounds(t *testing.T) {
+	f := func(raw []float64, r8 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			vals[i] = v
+		}
+		s := FromValues(t0, time.Hour, vals)
+		r := int(r8%5) + 1
+		mn, mx := s.RollingMin(r), s.RollingMax(r)
+		mn2, mx2 := s.RollingMin(r+1), s.RollingMax(r+1)
+		for i := range vals {
+			if mn.Values[i] > vals[i] || mx.Values[i] < vals[i] {
+				return false
+			}
+			if mn2.Values[i] > mn.Values[i] || mx2.Values[i] < mx.Values[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+// Package wan models the shared wide-area network connecting VB sites and
+// answers the paper's capacity questions (§3, §5): how much of a site's WAN
+// share a migration spike consumes, and what fraction of time the WAN is
+// busy migrating.
+package wan
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/vbcloud/vb/internal/trace"
+)
+
+// Config describes the shared WAN fabric.
+type Config struct {
+	// AggregateTbps is the total WAN capacity shared by all sites
+	// (the paper assumes a B4-like 50 Tb/s fabric).
+	AggregateTbps float64
+	// Sites is the number of sites sharing it (paper: ~100).
+	Sites int
+}
+
+// DefaultConfig returns the paper's WAN assumptions (§3).
+func DefaultConfig() Config {
+	return Config{AggregateTbps: 50, Sites: 100}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.AggregateTbps <= 0 {
+		return fmt.Errorf("wan: non-positive aggregate capacity %v", c.AggregateTbps)
+	}
+	if c.Sites <= 0 {
+		return fmt.Errorf("wan: non-positive site count %d", c.Sites)
+	}
+	return nil
+}
+
+// PerSiteShareGbps is one site's fair share of the aggregate, in Gb/s.
+func (c Config) PerSiteShareGbps() float64 {
+	return c.AggregateTbps * 1000 / float64(c.Sites)
+}
+
+// RequiredGbps returns the link rate needed to move the given volume within
+// the deadline. The paper's example: 10 TB in 5 minutes needs ~267 Gb/s
+// (they round to ~200 Gb/s for 10^4 GB).
+func RequiredGbps(volumeGB float64, deadline time.Duration) (float64, error) {
+	if volumeGB < 0 {
+		return 0, fmt.Errorf("wan: negative volume %v", volumeGB)
+	}
+	if deadline <= 0 {
+		return 0, fmt.Errorf("wan: non-positive deadline %v", deadline)
+	}
+	bits := volumeGB * 8 // gigabits
+	return bits / deadline.Seconds(), nil
+}
+
+// ShareConsumed returns the fraction of a site's WAN share a migration of
+// the given volume and deadline consumes. Values above 1 mean the share is
+// exceeded.
+func (c Config) ShareConsumed(volumeGB float64, deadline time.Duration) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	need, err := RequiredGbps(volumeGB, deadline)
+	if err != nil {
+		return 0, err
+	}
+	return need / c.PerSiteShareGbps(), nil
+}
+
+// BusyFraction returns the fraction of time a link of linkGbps is busy
+// transmitting the migration traffic of the per-step transfer series
+// (GB per step): each step's volume occupies volume/rate seconds of the
+// step. The paper's §5 estimate: migration occupies 2-4% of time at
+// 200 Gb/s per site.
+func BusyFraction(transfer trace.Series, linkGbps float64) (float64, error) {
+	if transfer.IsEmpty() {
+		return 0, trace.ErrEmptySeries
+	}
+	if linkGbps <= 0 {
+		return 0, fmt.Errorf("wan: non-positive link rate %v", linkGbps)
+	}
+	stepSec := transfer.Step.Seconds()
+	if stepSec <= 0 {
+		return 0, trace.ErrBadStep
+	}
+	var busy float64
+	for _, gb := range transfer.Values {
+		sec := gb * 8 / linkGbps
+		if sec > stepSec {
+			sec = stepSec // saturated: the step is fully busy
+		}
+		busy += sec
+	}
+	return busy / (stepSec * float64(transfer.Len())), nil
+}

@@ -1,0 +1,99 @@
+package wan
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/vbcloud/vb/internal/trace"
+)
+
+var t0 = time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if err := (Config{AggregateTbps: 0, Sites: 1}).Validate(); err == nil {
+		t.Error("zero capacity should error")
+	}
+	if err := (Config{AggregateTbps: 1, Sites: 0}).Validate(); err == nil {
+		t.Error("zero sites should error")
+	}
+}
+
+func TestPerSiteShare(t *testing.T) {
+	// Paper: 50 Tb/s over 100 sites = 500 Gb/s per site.
+	if got := DefaultConfig().PerSiteShareGbps(); got != 500 {
+		t.Errorf("per-site share = %v, want 500", got)
+	}
+}
+
+func TestRequiredGbps(t *testing.T) {
+	// Paper's example: 10 TB (10^4 GB) in 5 minutes ~ 267 Gb/s (they quote
+	// ~200 Gbps using rounder numbers).
+	got, err := RequiredGbps(10000, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-266.67) > 1 {
+		t.Errorf("RequiredGbps = %v, want ~266.7", got)
+	}
+	if _, err := RequiredGbps(-1, time.Minute); err == nil {
+		t.Error("negative volume should error")
+	}
+	if _, err := RequiredGbps(1, 0); err == nil {
+		t.Error("zero deadline should error")
+	}
+}
+
+// TestPaperShareClaim reproduces the §3 claim: a 10 TB spike with a 5-minute
+// deadline consumes roughly 40% (paper's rounding) of a site's share of a
+// 50 Tb/s / 100-site WAN.
+func TestPaperShareClaim(t *testing.T) {
+	frac, err := DefaultConfig().ShareConsumed(10000, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.35 || frac > 0.6 {
+		t.Errorf("share consumed = %v, want ~0.4-0.53 (paper: ~40%%)", frac)
+	}
+	if _, err := (Config{}).ShareConsumed(1, time.Minute); err == nil {
+		t.Error("invalid config should error")
+	}
+	if _, err := DefaultConfig().ShareConsumed(-1, time.Minute); err == nil {
+		t.Error("invalid volume should error")
+	}
+}
+
+func TestBusyFraction(t *testing.T) {
+	// 900 GB per 15-minute step at 8 Gb/s: 900*8/8 = 900 s of 900 s = every
+	// step fully busy.
+	s := trace.FromValues(t0, 15*time.Minute, []float64{900, 900})
+	got, err := BusyFraction(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("saturated busy fraction = %v, want 1", got)
+	}
+	// Half the volume on one of two steps: 450*8/8=450s of 1800s total.
+	s2 := trace.FromValues(t0, 15*time.Minute, []float64{450, 0})
+	got, err = BusyFraction(s2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("busy fraction = %v, want 0.25", got)
+	}
+	if _, err := BusyFraction(trace.Series{}, 8); err == nil {
+		t.Error("empty series should error")
+	}
+	if _, err := BusyFraction(s, 0); err == nil {
+		t.Error("zero rate should error")
+	}
+	bad := trace.FromValues(t0, 0, []float64{1})
+	if _, err := BusyFraction(bad, 8); err == nil {
+		t.Error("zero step should error")
+	}
+}

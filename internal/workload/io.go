@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// CSV interchange for VM traces, so real traces (e.g. the public Azure VM
+// dataset) can be converted into the simulator's format and synthetic
+// traces can be exported for inspection.
+
+var vmHeader = []string{"id", "cores", "memory_gb", "class", "arrival", "lifetime_s", "app_id"}
+
+// WriteCSV writes VMs as CSV with the header
+// id,cores,memory_gb,class,arrival,lifetime_s,app_id.
+func WriteCSV(w io.Writer, vms []VM) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(vmHeader); err != nil {
+		return err
+	}
+	for _, v := range vms {
+		rec := []string{
+			strconv.Itoa(v.ID),
+			strconv.Itoa(v.Cores),
+			strconv.Itoa(v.MemoryGB),
+			v.Class.String(),
+			v.Arrival.UTC().Format(time.RFC3339),
+			strconv.FormatInt(int64(v.Lifetime/time.Second), 10),
+			strconv.Itoa(v.AppID),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a VM trace written by WriteCSV.
+func ReadCSV(r io.Reader) ([]VM, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading header: %w", err)
+	}
+	if len(header) != len(vmHeader) {
+		return nil, fmt.Errorf("workload: header %v, want %v", header, vmHeader)
+	}
+	for i := range vmHeader {
+		if header[i] != vmHeader[i] {
+			return nil, fmt.Errorf("workload: header %v, want %v", header, vmHeader)
+		}
+	}
+	var out []VM
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		vm, err := parseVM(rec)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		out = append(out, vm)
+	}
+	return out, nil
+}
+
+func parseVM(rec []string) (VM, error) {
+	var vm VM
+	var err error
+	if vm.ID, err = strconv.Atoi(rec[0]); err != nil {
+		return VM{}, fmt.Errorf("bad id %q", rec[0])
+	}
+	if vm.Cores, err = strconv.Atoi(rec[1]); err != nil || vm.Cores <= 0 {
+		return VM{}, fmt.Errorf("bad cores %q", rec[1])
+	}
+	if vm.MemoryGB, err = strconv.Atoi(rec[2]); err != nil || vm.MemoryGB <= 0 {
+		return VM{}, fmt.Errorf("bad memory %q", rec[2])
+	}
+	switch rec[3] {
+	case "stable":
+		vm.Class = Stable
+	case "degradable":
+		vm.Class = Degradable
+	default:
+		return VM{}, fmt.Errorf("bad class %q", rec[3])
+	}
+	if vm.Arrival, err = time.Parse(time.RFC3339, rec[4]); err != nil {
+		return VM{}, fmt.Errorf("bad arrival %q", rec[4])
+	}
+	secs, err := strconv.ParseInt(rec[5], 10, 64)
+	if err != nil || secs < 0 {
+		return VM{}, fmt.Errorf("bad lifetime %q", rec[5])
+	}
+	vm.Lifetime = time.Duration(secs) * time.Second
+	if vm.AppID, err = strconv.Atoi(rec[6]); err != nil {
+		return VM{}, fmt.Errorf("bad app id %q", rec[6])
+	}
+	return vm, nil
+}

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestVMCSVRoundTrip(t *testing.T) {
+	vms, err := Generate(Config{
+		Seed:                5,
+		Start:               start,
+		Duration:            24 * time.Hour,
+		MeanArrivalsPerHour: 10,
+		StableFraction:      0.6,
+		LongRunningFraction: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, vms); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vms) {
+		t.Fatalf("round trip %d VMs, want %d", len(got), len(vms))
+	}
+	for i := range vms {
+		want := vms[i]
+		// Arrival survives to second precision.
+		want.Arrival = want.Arrival.Truncate(time.Second)
+		want.Lifetime = want.Lifetime.Truncate(time.Second)
+		g := got[i]
+		if g.ID != want.ID || g.Cores != want.Cores || g.MemoryGB != want.MemoryGB ||
+			g.Class != want.Class || !g.Arrival.Equal(want.Arrival) ||
+			g.Lifetime != want.Lifetime || g.AppID != want.AppID {
+			t.Fatalf("VM %d: got %+v, want %+v", i, g, want)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"id,cores\n",
+		"x,cores,memory_gb,class,arrival,lifetime_s,app_id\n",
+		"id,cores,memory_gb,class,arrival,lifetime_s,app_id\nx,1,1,stable,2020-01-01T00:00:00Z,0,0\n",
+		"id,cores,memory_gb,class,arrival,lifetime_s,app_id\n1,0,1,stable,2020-01-01T00:00:00Z,0,0\n",
+		"id,cores,memory_gb,class,arrival,lifetime_s,app_id\n1,1,0,stable,2020-01-01T00:00:00Z,0,0\n",
+		"id,cores,memory_gb,class,arrival,lifetime_s,app_id\n1,1,1,spot,2020-01-01T00:00:00Z,0,0\n",
+		"id,cores,memory_gb,class,arrival,lifetime_s,app_id\n1,1,1,stable,yesterday,0,0\n",
+		"id,cores,memory_gb,class,arrival,lifetime_s,app_id\n1,1,1,stable,2020-01-01T00:00:00Z,-5,0\n",
+		"id,cores,memory_gb,class,arrival,lifetime_s,app_id\n1,1,1,stable,2020-01-01T00:00:00Z,0,x\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestReadCSVEmptyTrace(t *testing.T) {
+	// A header-only file is a valid empty trace.
+	got, err := ReadCSV(strings.NewReader("id,cores,memory_gb,class,arrival,lifetime_s,app_id\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty trace parsed %d VMs", len(got))
+	}
+}

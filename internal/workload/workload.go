@@ -1,0 +1,344 @@
+// Package workload generates synthetic cloud workloads standing in for the
+// Azure production VM arrival trace the paper uses (§3): Poisson arrivals
+// with a diurnal rate profile, an Azure-like VM size mix, heavy-tailed
+// lifetimes, and a stable/degradable class split (§2.3's two application
+// categories).
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"time"
+)
+
+// Class is the availability class of a VM (§2.3).
+type Class int
+
+const (
+	// Stable VMs require cloud-like availability (on-demand equivalents).
+	Stable Class = iota
+	// Degradable VMs tolerate preemption and resizing (spot/harvest
+	// equivalents).
+	Degradable
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if c == Stable {
+		return "stable"
+	}
+	return "degradable"
+}
+
+// VM is one virtual machine request.
+type VM struct {
+	// ID is unique within a generated trace.
+	ID int
+	// Cores and MemoryGB are the requested resources.
+	Cores    int
+	MemoryGB int
+	// Class is the availability class.
+	Class Class
+	// Arrival is when the VM is requested.
+	Arrival time.Time
+	// Lifetime is how long the VM runs once started. Zero means it runs
+	// until the end of the simulation.
+	Lifetime time.Duration
+	// AppID groups VMs belonging to one application request (0 = none).
+	AppID int
+}
+
+// End returns the VM's departure time, or the zero time when it runs
+// forever.
+func (v VM) End() time.Time {
+	if v.Lifetime == 0 {
+		return time.Time{}
+	}
+	return v.Arrival.Add(v.Lifetime)
+}
+
+// shape is one entry of the VM size mix.
+type shape struct {
+	cores  int
+	memGB  int
+	weight float64
+}
+
+// sizeMix approximates the Azure first-party size distribution: dominated by
+// small sizes with a thin tail of very large VMs. Memory per core is 2-4 GB,
+// matching the paper's 40-core/512 GB servers (12.8 GB/core) being
+// memory-rich relative to demand.
+var sizeMix = []shape{
+	{1, 2, 0.22},
+	{1, 4, 0.13},
+	{2, 4, 0.18},
+	{2, 8, 0.13},
+	{4, 8, 0.12},
+	{4, 16, 0.08},
+	{8, 16, 0.06},
+	{8, 32, 0.04},
+	{16, 64, 0.02},
+	{24, 96, 0.013},
+	{32, 128, 0.007},
+}
+
+// Config parameterizes a workload trace.
+type Config struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Start is the beginning of the trace.
+	Start time.Time
+	// Duration is the span over which VMs arrive.
+	Duration time.Duration
+	// MeanArrivalsPerHour is the average VM arrival rate (diurnally
+	// modulated around this mean).
+	MeanArrivalsPerHour float64
+	// StableFraction is the fraction of VMs in the Stable class. The
+	// remainder is Degradable. Values outside [0,1] are an error.
+	StableFraction float64
+	// MedianLifetime is the median VM lifetime; the distribution is
+	// lognormal and heavy tailed. Zero selects 2 hours.
+	MedianLifetime time.Duration
+	// LongRunningFraction is the fraction of VMs that never terminate
+	// within the trace (services). Zero is allowed.
+	LongRunningFraction float64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Duration <= 0 {
+		return fmt.Errorf("workload: non-positive duration %v", c.Duration)
+	}
+	if c.MeanArrivalsPerHour <= 0 {
+		return fmt.Errorf("workload: non-positive arrival rate %v", c.MeanArrivalsPerHour)
+	}
+	if c.StableFraction < 0 || c.StableFraction > 1 {
+		return fmt.Errorf("workload: stable fraction %v outside [0,1]", c.StableFraction)
+	}
+	if c.LongRunningFraction < 0 || c.LongRunningFraction > 1 {
+		return fmt.Errorf("workload: long-running fraction %v outside [0,1]", c.LongRunningFraction)
+	}
+	return nil
+}
+
+func (c Config) medianLifetime() time.Duration {
+	if c.MedianLifetime <= 0 {
+		return 2 * time.Hour
+	}
+	return c.MedianLifetime
+}
+
+// Generate produces the VM arrival trace, sorted by arrival time.
+func Generate(cfg Config) ([]VM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := subRNG(cfg.Seed, "vms")
+	var vms []VM
+	t := cfg.Start
+	end := cfg.Start.Add(cfg.Duration)
+	id := 1
+	for t.Before(end) {
+		rate := cfg.MeanArrivalsPerHour * diurnalRate(t)
+		// Exponential inter-arrival at the current rate.
+		gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Hour))
+		if gap <= 0 {
+			gap = time.Second
+		}
+		t = t.Add(gap)
+		if !t.Before(end) {
+			break
+		}
+		vms = append(vms, newVM(id, t, cfg, rng))
+		id++
+	}
+	sort.Slice(vms, func(i, j int) bool { return vms[i].Arrival.Before(vms[j].Arrival) })
+	return vms, nil
+}
+
+// newVM draws one VM with the configured class and size mix.
+func newVM(id int, arrival time.Time, cfg Config, rng *rand.Rand) VM {
+	sh := drawShape(rng)
+	class := Degradable
+	if rng.Float64() < cfg.StableFraction {
+		class = Stable
+	}
+	var life time.Duration
+	if rng.Float64() >= cfg.LongRunningFraction {
+		life = drawLifetime(cfg.medianLifetime(), rng)
+	}
+	return VM{
+		ID:       id,
+		Cores:    sh.cores,
+		MemoryGB: sh.memGB,
+		Class:    class,
+		Arrival:  arrival,
+		Lifetime: life,
+	}
+}
+
+// diurnalRate modulates the arrival rate over the day: business hours see
+// roughly twice the overnight load.
+func diurnalRate(t time.Time) float64 {
+	h := float64(t.UTC().Hour()) + float64(t.UTC().Minute())/60
+	return 1 + 0.35*math.Sin(2*math.Pi*(h-10)/24)
+}
+
+// drawShape samples the VM size mix.
+func drawShape(rng *rand.Rand) shape {
+	u := rng.Float64()
+	var cum float64
+	for _, s := range sizeMix {
+		cum += s.weight
+		if u < cum {
+			return s
+		}
+	}
+	return sizeMix[len(sizeMix)-1]
+}
+
+// drawLifetime samples a lognormal lifetime with the given median and a
+// heavy tail (sigma 1.4: p99 is ~26x the median).
+func drawLifetime(median time.Duration, rng *rand.Rand) time.Duration {
+	const sigma = 1.4
+	f := math.Exp(sigma * rng.NormFloat64())
+	d := time.Duration(float64(median) * f)
+	if d < time.Minute {
+		d = time.Minute
+	}
+	return d
+}
+
+// App is a multi-VM application request, the scheduling unit of §3.1: the
+// scheduler picks a group of VB sites for all of an app's VMs together.
+type App struct {
+	// ID is unique within a generated set.
+	ID int
+	// Arrival is when the application is submitted.
+	Arrival time.Time
+	// Duration is how long the application runs. Zero means the full
+	// simulation.
+	Duration time.Duration
+	// VMs are the application's VM requests (sharing the app's arrival).
+	VMs []VM
+}
+
+// TotalCores returns the cores requested across all VMs.
+func (a App) TotalCores() int {
+	n := 0
+	for _, v := range a.VMs {
+		n += v.Cores
+	}
+	return n
+}
+
+// TotalMemoryGB returns the memory requested across all VMs.
+func (a App) TotalMemoryGB() int {
+	n := 0
+	for _, v := range a.VMs {
+		n += v.MemoryGB
+	}
+	return n
+}
+
+// StableCores returns the cores requested by Stable-class VMs.
+func (a App) StableCores() int {
+	n := 0
+	for _, v := range a.VMs {
+		if v.Class == Stable {
+			n += v.Cores
+		}
+	}
+	return n
+}
+
+// AppConfig parameterizes application-level workload generation.
+type AppConfig struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Start and Duration span the arrival window.
+	Start    time.Time
+	Duration time.Duration
+	// MeanAppsPerDay is the average application arrival rate.
+	MeanAppsPerDay float64
+	// MeanVMsPerApp is the mean application size (geometric, at least 1).
+	MeanVMsPerApp float64
+	// StableFraction is the per-VM probability of the Stable class.
+	StableFraction float64
+}
+
+// Validate reports configuration errors.
+func (c AppConfig) Validate() error {
+	if c.Duration <= 0 {
+		return fmt.Errorf("workload: non-positive duration %v", c.Duration)
+	}
+	if c.MeanAppsPerDay <= 0 {
+		return fmt.Errorf("workload: non-positive app rate %v", c.MeanAppsPerDay)
+	}
+	if c.MeanVMsPerApp < 1 {
+		return fmt.Errorf("workload: mean VMs per app %v must be >= 1", c.MeanVMsPerApp)
+	}
+	if c.StableFraction < 0 || c.StableFraction > 1 {
+		return fmt.Errorf("workload: stable fraction %v outside [0,1]", c.StableFraction)
+	}
+	return nil
+}
+
+// GenerateApps produces application requests sorted by arrival.
+func GenerateApps(cfg AppConfig) ([]App, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := subRNG(cfg.Seed, "apps")
+	var apps []App
+	t := cfg.Start
+	end := cfg.Start.Add(cfg.Duration)
+	appID := 1
+	vmID := 1
+	for {
+		gap := time.Duration(rng.ExpFloat64() / cfg.MeanAppsPerDay * float64(24*time.Hour))
+		if gap <= 0 {
+			gap = time.Second
+		}
+		t = t.Add(gap)
+		if !t.Before(end) {
+			break
+		}
+		nVMs := 1
+		// Geometric with mean MeanVMsPerApp.
+		p := 1 / cfg.MeanVMsPerApp
+		for rng.Float64() > p {
+			nVMs++
+		}
+		app := App{ID: appID, Arrival: t}
+		for i := 0; i < nVMs; i++ {
+			sh := drawShape(rng)
+			class := Degradable
+			if rng.Float64() < cfg.StableFraction {
+				class = Stable
+			}
+			app.VMs = append(app.VMs, VM{
+				ID:       vmID,
+				Cores:    sh.cores,
+				MemoryGB: sh.memGB,
+				Class:    class,
+				Arrival:  t,
+				AppID:    appID,
+			})
+			vmID++
+		}
+		apps = append(apps, app)
+		appID++
+	}
+	return apps, nil
+}
+
+func subRNG(seed uint64, label string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", seed, label)
+	s := h.Sum64()
+	return rand.New(rand.NewPCG(s, s^0xbb67ae8584caa73b))
+}

@@ -1,0 +1,303 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var start = time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func baseConfig() Config {
+	return Config{
+		Seed:                1,
+		Start:               start,
+		Duration:            7 * 24 * time.Hour,
+		MeanArrivalsPerHour: 50,
+		StableFraction:      0.7,
+		LongRunningFraction: 0.2,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := baseConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Duration = 0 },
+		func(c *Config) { c.MeanArrivalsPerHour = 0 },
+		func(c *Config) { c.StableFraction = 1.5 },
+		func(c *Config) { c.StableFraction = -0.1 },
+		func(c *Config) { c.LongRunningFraction = 2 },
+	}
+	for i, mut := range bad {
+		c := baseConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	cfg := baseConfig()
+	vms, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect roughly rate*hours arrivals.
+	expected := cfg.MeanArrivalsPerHour * cfg.Duration.Hours()
+	if float64(len(vms)) < 0.8*expected || float64(len(vms)) > 1.2*expected {
+		t.Errorf("got %d VMs, want ~%.0f", len(vms), expected)
+	}
+	end := cfg.Start.Add(cfg.Duration)
+	seen := map[int]bool{}
+	for i, v := range vms {
+		if v.Arrival.Before(cfg.Start) || !v.Arrival.Before(end) {
+			t.Fatalf("VM %d arrival %v outside window", v.ID, v.Arrival)
+		}
+		if i > 0 && vms[i].Arrival.Before(vms[i-1].Arrival) {
+			t.Fatal("VMs not sorted by arrival")
+		}
+		if v.Cores <= 0 || v.MemoryGB <= 0 {
+			t.Fatalf("VM %d has empty shape", v.ID)
+		}
+		if seen[v.ID] {
+			t.Fatalf("duplicate VM ID %d", v.ID)
+		}
+		seen[v.ID] = true
+	}
+}
+
+func TestGenerateInvalid(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Duration = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("VM %d differs", i)
+		}
+	}
+	cfg := baseConfig()
+	cfg.Seed = 2
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if a[i].Arrival != c[i].Arrival {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds should differ")
+		}
+	}
+}
+
+func TestClassMix(t *testing.T) {
+	vms, err := Generate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stable := 0
+	for _, v := range vms {
+		if v.Class == Stable {
+			stable++
+		}
+	}
+	frac := float64(stable) / float64(len(vms))
+	if math.Abs(frac-0.7) > 0.05 {
+		t.Errorf("stable fraction = %v, want ~0.7", frac)
+	}
+}
+
+func TestLifetimes(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MedianLifetime = 2 * time.Hour
+	vms, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var finite []float64
+	longRunning := 0
+	for _, v := range vms {
+		if v.Lifetime == 0 {
+			longRunning++
+			if !v.End().IsZero() {
+				t.Fatal("long-running VM End should be zero time")
+			}
+			continue
+		}
+		if v.Lifetime < time.Minute {
+			t.Fatalf("lifetime %v below floor", v.Lifetime)
+		}
+		if got := v.End(); !got.Equal(v.Arrival.Add(v.Lifetime)) {
+			t.Fatal("End mismatch")
+		}
+		finite = append(finite, v.Lifetime.Hours())
+	}
+	frac := float64(longRunning) / float64(len(vms))
+	if math.Abs(frac-0.2) > 0.05 {
+		t.Errorf("long-running fraction = %v, want ~0.2", frac)
+	}
+	// Median of finite lifetimes near the configured median; heavy tail.
+	if len(finite) == 0 {
+		t.Fatal("no finite lifetimes")
+	}
+	var sum float64
+	max := 0.0
+	for _, h := range finite {
+		sum += h
+		if h > max {
+			max = h
+		}
+	}
+	if max < 10 {
+		t.Errorf("max lifetime %vh: expected a heavy tail", max)
+	}
+}
+
+func TestDiurnalRate(t *testing.T) {
+	noon := diurnalRate(time.Date(2020, 5, 1, 14, 0, 0, 0, time.UTC))
+	night := diurnalRate(time.Date(2020, 5, 1, 3, 0, 0, 0, time.UTC))
+	if noon <= night {
+		t.Errorf("daytime rate %v should exceed night rate %v", noon, night)
+	}
+	for h := 0; h < 24; h++ {
+		r := diurnalRate(time.Date(2020, 5, 1, h, 0, 0, 0, time.UTC))
+		if r <= 0 {
+			t.Fatalf("rate at hour %d = %v, must be positive", h, r)
+		}
+	}
+}
+
+func TestSizeMixNormalized(t *testing.T) {
+	var sum float64
+	for _, s := range sizeMix {
+		if s.cores <= 0 || s.memGB <= 0 || s.weight <= 0 {
+			t.Fatalf("bad shape %+v", s)
+		}
+		sum += s.weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("size mix weights sum to %v, want 1", sum)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Stable.String() != "stable" || Degradable.String() != "degradable" {
+		t.Error("class strings")
+	}
+}
+
+func TestGenerateApps(t *testing.T) {
+	cfg := AppConfig{
+		Seed:           3,
+		Start:          start,
+		Duration:       7 * 24 * time.Hour,
+		MeanAppsPerDay: 40,
+		MeanVMsPerApp:  8,
+		StableFraction: 0.7,
+	}
+	apps, err := GenerateApps(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) < 150 || len(apps) > 450 {
+		t.Errorf("got %d apps, want ~280", len(apps))
+	}
+	totVMs := 0
+	for i, a := range apps {
+		if len(a.VMs) == 0 {
+			t.Fatalf("app %d has no VMs", a.ID)
+		}
+		if i > 0 && apps[i].Arrival.Before(apps[i-1].Arrival) {
+			t.Fatal("apps not sorted")
+		}
+		for _, v := range a.VMs {
+			if v.AppID != a.ID {
+				t.Fatalf("VM %d has AppID %d, want %d", v.ID, v.AppID, a.ID)
+			}
+			if !v.Arrival.Equal(a.Arrival) {
+				t.Fatal("VM arrival should match app arrival")
+			}
+		}
+		if a.TotalCores() <= 0 || a.TotalMemoryGB() <= 0 {
+			t.Fatal("app totals must be positive")
+		}
+		if a.StableCores() > a.TotalCores() {
+			t.Fatal("stable cores exceed total")
+		}
+		totVMs += len(a.VMs)
+	}
+	meanVMs := float64(totVMs) / float64(len(apps))
+	if meanVMs < 5 || meanVMs > 12 {
+		t.Errorf("mean VMs per app = %v, want ~8", meanVMs)
+	}
+}
+
+func TestGenerateAppsInvalid(t *testing.T) {
+	bad := []AppConfig{
+		{},
+		{Duration: time.Hour, MeanAppsPerDay: 0, MeanVMsPerApp: 2},
+		{Duration: time.Hour, MeanAppsPerDay: 5, MeanVMsPerApp: 0.5},
+		{Duration: time.Hour, MeanAppsPerDay: 5, MeanVMsPerApp: 2, StableFraction: -1},
+	}
+	for i, c := range bad {
+		if _, err := GenerateApps(c); err == nil {
+			t.Errorf("bad app config %d accepted", i)
+		}
+	}
+}
+
+// Property: all generated VMs respect the arrival window and have positive
+// resources for any sane config.
+func TestPropGenerateWellFormed(t *testing.T) {
+	f := func(seed uint64, rate8, stable8 uint8) bool {
+		cfg := Config{
+			Seed:                seed,
+			Start:               start,
+			Duration:            24 * time.Hour,
+			MeanArrivalsPerHour: 1 + float64(rate8%40),
+			StableFraction:      float64(stable8%101) / 100,
+		}
+		vms, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		end := cfg.Start.Add(cfg.Duration)
+		for _, v := range vms {
+			if v.Cores <= 0 || v.MemoryGB <= 0 {
+				return false
+			}
+			if v.Arrival.Before(cfg.Start) || !v.Arrival.Before(end) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,276 @@
+// Package vb is the public API of the Virtual Battery simulator, a
+// reproduction of "Redesigning Data Centers for Renewable Energy"
+// (HotNets '21). It re-exports the building blocks — synthetic renewable
+// energy worlds, forecast bundles, cloud workloads, the single-site cluster
+// simulator, the site latency graph, and the network- and power-aware
+// multi-site co-scheduler — and provides one-call runners for every table
+// and figure in the paper's evaluation (see experiments.go).
+//
+// Quick start:
+//
+//	world := vb.NewWorld(42)
+//	sites := vb.EuropeanTrio()
+//	power, err := world.GeneratePower(sites, start, time.Hour, 24*7)
+//
+// See the examples/ directory for complete programs.
+package vb
+
+import (
+	"io"
+	"time"
+
+	"github.com/vbcloud/vb/internal/cluster"
+	"github.com/vbcloud/vb/internal/core"
+	"github.com/vbcloud/vb/internal/econ"
+	"github.com/vbcloud/vb/internal/energy"
+	"github.com/vbcloud/vb/internal/forecast"
+	"github.com/vbcloud/vb/internal/graph"
+	"github.com/vbcloud/vb/internal/plot"
+	"github.com/vbcloud/vb/internal/sim"
+	"github.com/vbcloud/vb/internal/stats"
+	"github.com/vbcloud/vb/internal/trace"
+	"github.com/vbcloud/vb/internal/wan"
+	"github.com/vbcloud/vb/internal/workload"
+)
+
+// Time-series substrate.
+type (
+	// Series is a regularly sampled time series (power, traffic, ...).
+	Series = trace.Series
+	// CDF is an empirical cumulative distribution function.
+	CDF = stats.CDF
+	// Summary holds descriptive statistics of a sample.
+	Summary = stats.Summary
+	// Point is an (x, y) plot coordinate, e.g. one CDF point.
+	Point = stats.Point
+)
+
+// Renewable energy modelling.
+type (
+	// World generates correlated renewable power traces for a site fleet.
+	World = energy.World
+	// SiteConfig describes one renewable site (source, location, capacity).
+	SiteConfig = energy.SiteConfig
+	// Source is a renewable source type (Solar or Wind).
+	Source = energy.Source
+	// Split is a stable/variable energy decomposition.
+	Split = energy.Split
+	// ComboResult evaluates an aggregated site combination.
+	ComboResult = energy.ComboResult
+	// TopUp is a grid-purchase floor raise plan.
+	TopUp = energy.TopUp
+)
+
+// Renewable source types.
+const (
+	Solar = energy.Solar
+	Wind  = energy.Wind
+)
+
+// Forecasting.
+type (
+	// Forecaster generates horizon-calibrated pseudo-forecasts.
+	Forecaster = forecast.Forecaster
+	// Bundle holds one site's forecasts at the standard horizons.
+	Bundle = forecast.Bundle
+)
+
+// Standard forecast horizons (paper Fig 5).
+const (
+	Horizon3H   = forecast.Horizon3H
+	HorizonDay  = forecast.HorizonDay
+	HorizonWeek = forecast.HorizonWeek
+)
+
+// Workloads.
+type (
+	// VM is a virtual machine request.
+	VM = workload.VM
+	// App is a multi-VM application request.
+	App = workload.App
+	// WorkloadConfig parameterizes VM trace generation.
+	WorkloadConfig = workload.Config
+	// AppConfig parameterizes application trace generation.
+	AppConfig = workload.AppConfig
+)
+
+// VM availability classes.
+const (
+	Stable     = workload.Stable
+	Degradable = workload.Degradable
+)
+
+// Single-site cluster simulation (paper §3, Fig 4).
+type (
+	// ClusterConfig describes one VB site's hardware.
+	ClusterConfig = cluster.Config
+	// ClusterSite simulates one power-tracking site.
+	ClusterSite = cluster.Site
+	// ClusterRunResult is the outcome of driving a site through a power
+	// trace.
+	ClusterRunResult = cluster.RunResult
+)
+
+// Site graph (scheduler step 1).
+type (
+	// Graph is the VB site latency graph.
+	Graph = graph.Graph
+	// RankedClique is a candidate placement group scored by cov.
+	RankedClique = graph.RankedClique
+)
+
+// Scheduler (the paper's contribution, §3.1).
+type (
+	// Policy selects a Table 1 scheduling policy.
+	Policy = core.Policy
+	// SchedulerConfig parameterizes the co-scheduler.
+	SchedulerConfig = core.Config
+	// AppDemand is the scheduler's view of an application.
+	AppDemand = core.AppDemand
+	// Plan is an application's allocation schedule.
+	Plan = core.Plan
+	// Scheduler places applications across a multi-VB group.
+	Scheduler = core.Scheduler
+	// SimInput bundles a multi-site simulation's inputs.
+	SimInput = sim.Input
+	// SimResult is a policy run's outcome.
+	SimResult = sim.Result
+	// VMLevelResult is a VM-granularity policy run's outcome.
+	VMLevelResult = sim.VMLevelResult
+)
+
+// Table 1 policies.
+const (
+	PolicyGreedy  = core.Greedy
+	PolicyMIP     = core.MIP
+	PolicyMIP24h  = core.MIP24h
+	PolicyMIPPeak = core.MIPPeak
+)
+
+// WAN and economics models.
+type (
+	// WANConfig describes the shared wide-area fabric.
+	WANConfig = wan.Config
+	// CostModel captures the paper's §2.1 cost structure.
+	CostModel = econ.CostModel
+)
+
+// NewWorld returns an energy world with default correlation structure.
+func NewWorld(seed uint64) *World { return energy.NewWorld(seed) }
+
+// NewForecaster returns a forecaster with the given seed.
+func NewForecaster(seed uint64) *Forecaster { return forecast.New(seed) }
+
+// NewSeries returns a zero-filled series.
+func NewSeries(start time.Time, step time.Duration, n int) Series {
+	return trace.New(start, step, n)
+}
+
+// NewCluster returns an empty, fully powered VB site.
+func NewCluster(cfg ClusterConfig) (*ClusterSite, error) { return cluster.New(cfg) }
+
+// DefaultClusterConfig returns the paper's 700x40-core site.
+func DefaultClusterConfig() ClusterConfig { return cluster.DefaultConfig() }
+
+// RunCluster drives a site through a power trace with the given VM
+// arrivals (paper Fig 4).
+func RunCluster(cfg ClusterConfig, power Series, vms []VM, warmup int) (ClusterRunResult, error) {
+	return cluster.Run(cfg, power, vms, warmup)
+}
+
+// NewGraph builds the site latency graph (0 threshold = the paper's 50 ms).
+func NewGraph(sites []SiteConfig, thresholdMS float64) (*Graph, error) {
+	return graph.New(sites, thresholdMS)
+}
+
+// NewScheduler creates a co-scheduler over a multi-VB group.
+func NewScheduler(cfg SchedulerConfig, numSites, steps int) (*Scheduler, error) {
+	return core.NewScheduler(cfg, numSites, steps)
+}
+
+// RunPolicy simulates one scheduling policy over a multi-VB group.
+func RunPolicy(cfg SchedulerConfig, in SimInput) (SimResult, error) { return sim.Run(cfg, in) }
+
+// RunPolicyVMLevel simulates a policy at VM granularity: individual VMs on
+// real per-site cluster simulators (packing, fragmentation, round-robin
+// eviction), steered by the same co-scheduler. apps supplies the discrete
+// VMs behind in.Apps, matched by application ID.
+func RunPolicyVMLevel(cfg SchedulerConfig, in SimInput, apps []App, clusterCfg ClusterConfig) (VMLevelResult, error) {
+	return sim.RunVMLevel(cfg, in, apps, clusterCfg)
+}
+
+// AllPolicies lists the paper's four Table 1 policies.
+func AllPolicies() []Policy { return core.AllPolicies() }
+
+// GenerateVMs produces a synthetic Azure-like VM arrival trace.
+func GenerateVMs(cfg WorkloadConfig) ([]VM, error) { return workload.Generate(cfg) }
+
+// GenerateApps produces synthetic application requests.
+func GenerateApps(cfg AppConfig) ([]App, error) { return workload.GenerateApps(cfg) }
+
+// EuropeanTrio returns the paper's Fig 3 site trio (NO solar, UK/PT wind).
+func EuropeanTrio() []SiteConfig { return energy.EuropeanTrio() }
+
+// EuropeanFleet returns a larger mixed fleet (EMHIRES stand-in).
+func EuropeanFleet(n int) []SiteConfig { return energy.EuropeanFleet(n) }
+
+// StableVariableSplit decomposes produced energy per §2.3.
+func StableVariableSplit(power Series, window time.Duration) (Split, error) {
+	return energy.StableVariableSplit(power, window)
+}
+
+// PlanTopUp finds the best grid-purchase floor raise within a budget.
+func PlanTopUp(power Series, budgetMWh float64) (TopUp, error) {
+	return energy.PlanTopUp(power, budgetMWh)
+}
+
+// LatencyMS estimates round-trip latency between two sites.
+func LatencyMS(a, b SiteConfig) float64 { return energy.LatencyMS(a, b) }
+
+// WANBusy returns the fraction of time a link of linkGbps is busy carrying
+// the given per-step transfer series (GB per step).
+func WANBusy(transfer Series, linkGbps float64) (float64, error) {
+	return wan.BusyFraction(transfer, linkGbps)
+}
+
+// DefaultWAN returns the paper's WAN assumptions (50 Tb/s, 100 sites).
+func DefaultWAN() WANConfig { return wan.DefaultConfig() }
+
+// DefaultCostModel returns the paper's §2.1 cost figures.
+func DefaultCostModel() CostModel { return econ.DefaultCostModel() }
+
+// AddSeries returns the element-wise sum of two compatible series.
+func AddSeries(a, b Series) (Series, error) { return trace.Add(a, b) }
+
+// SumSeries returns the element-wise sum of all the given series.
+func SumSeries(series ...Series) (Series, error) { return trace.Sum(series...) }
+
+// WriteCSV writes series sharing a time base as a CSV table.
+func WriteCSV(w io.Writer, names []string, series ...Series) error {
+	return trace.WriteCSV(w, names, series...)
+}
+
+// ReadCSV parses a CSV table written by WriteCSV.
+func ReadCSV(r io.Reader) ([]string, []Series, error) { return trace.ReadCSV(r) }
+
+// PlotOptions controls ASCII chart geometry.
+type PlotOptions = plot.Options
+
+// PlotSeries renders a series as an ASCII line chart.
+func PlotSeries(s Series, opt PlotOptions) (string, error) { return plot.Series(s, opt) }
+
+// PlotMulti overlays up to six series in one ASCII chart.
+func PlotMulti(series []Series, names []string, opt PlotOptions) (string, error) {
+	return plot.Multi(series, names, opt)
+}
+
+// PlotCDFs renders named CDF point sets as one ASCII chart.
+func PlotCDFs(sets map[string][]Point, opt PlotOptions) (string, error) {
+	return plot.CDFs(sets, opt)
+}
+
+// NewCDF builds an empirical CDF from samples.
+func NewCDF(samples []float64) (*CDF, error) { return stats.NewCDF(samples) }
+
+// Summarize computes descriptive statistics of a sample.
+func Summarize(xs []float64) (Summary, error) { return stats.Summarize(xs) }

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -24,13 +25,19 @@ func main() {
 	log.SetPrefix("vbfleet: ")
 
 	var (
-		kArg    = flag.Int("k", 0, "group size (0 = sweep 2..4)")
-		top     = flag.Int("top", 5, "groups to show per size")
-		latency = flag.Float64("latency", 0, "latency threshold in ms (0 = the paper's 50)")
-		days    = flag.Int("days", 14, "days of power used for ranking")
-		seed    = flag.Uint64("seed", vb.DefaultSeed, "random seed")
+		kArg       = flag.Int("k", 0, "group size (0 = sweep 2..4)")
+		top        = flag.Int("top", 5, "groups to show per size")
+		latency    = flag.Float64("latency", 0, "latency threshold in ms (0 = the paper's 50)")
+		days       = flag.Int("days", 14, "days of power used for ranking")
+		seed       = flag.Uint64("seed", vb.DefaultSeed, "random seed")
+		metricsOut = flag.String("metrics", "", "write a ranking manifest (metrics JSON) to this file")
 	)
 	flag.Parse()
+
+	var reg *vb.MetricsRegistry
+	if *metricsOut != "" {
+		reg = vb.NewMetrics()
+	}
 
 	fleet := vb.EuropeanFleet(0)
 	g, err := vb.NewGraph(fleet, *latency)
@@ -39,6 +46,7 @@ func main() {
 	}
 	start := time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
 	world := vb.NewWorld(*seed)
+	world.Obs = reg
 	powers, err := world.GeneratePower(fleet, start, time.Hour, *days*24)
 	if err != nil {
 		log.Fatal(err)
@@ -48,9 +56,30 @@ func main() {
 	if *kArg > 0 {
 		kMin, kMax = *kArg, *kArg
 	}
+	rankSpan := vb.TimeSpan(reg, "fleet.candidate_groups")
 	groups, err := g.CandidateGroups(kMin, kMax, *top, powers)
+	rankSpan()
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *metricsOut != "" {
+		reg.SetGauge("fleet.sites", float64(len(fleet)))
+		reg.SetGauge("fleet.groups", float64(len(groups)))
+		m := reg.Manifest()
+		m.Seed = *seed
+		for _, s := range fleet {
+			m.Fleet = append(m.Fleet, s.Name)
+		}
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	fmt.Printf("fleet of %d sites, %g ms threshold, ranked by cov of summed power (%d days)\n\n",

@@ -37,13 +37,15 @@ func main() {
 	log.SetPrefix("vbplan: ")
 
 	var (
-		powerPath = flag.String("power", "", "CSV of normalized per-site power (required)")
-		appsPath  = flag.String("apps", "", "CSV of application demands (required)")
-		policyArg = flag.String("policy", "MIP", `scheduling policy ("Greedy", "MIP", "MIP-24h", "MIP-peak")`)
-		cores     = flag.Float64("cores", 28000, "fully powered cores per site")
-		util      = flag.Float64("util", 0.7, "admission utilization target")
-		seed      = flag.Uint64("seed", vb.DefaultSeed, "seed for the forecast error process")
-		showPlan  = flag.Bool("plan", false, "print per-app allocations per step")
+		powerPath  = flag.String("power", "", "CSV of normalized per-site power (required)")
+		appsPath   = flag.String("apps", "", "CSV of application demands (required)")
+		policyArg  = flag.String("policy", "MIP", `scheduling policy ("Greedy", "MIP", "MIP-24h", "MIP-peak")`)
+		cores      = flag.Float64("cores", 28000, "fully powered cores per site")
+		util       = flag.Float64("util", 0.7, "admission utilization target")
+		seed       = flag.Uint64("seed", vb.DefaultSeed, "seed for the forecast error process")
+		showPlan   = flag.Bool("plan", false, "print per-app allocations per step")
+		traceOut   = flag.String("trace", "", "write structured run events to this JSONL file")
+		metricsOut = flag.String("metrics", "", "write the run manifest (metrics JSON) to this file")
 	)
 	flag.Parse()
 	if *powerPath == "" || *appsPath == "" {
@@ -71,9 +73,23 @@ func main() {
 		log.Fatalf("reading apps: %v", err)
 	}
 
+	var reg *vb.MetricsRegistry
+	if *traceOut != "" || *metricsOut != "" {
+		reg = vb.NewMetrics()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		reg.Tracer().SetSink(f)
+	}
+
 	// Real deployments have real forecasts; lacking them, synthesize
 	// day-ahead-quality forecasts around the supplied truth.
 	fc := vb.NewForecaster(*seed)
+	fc.Obs = reg
 	bundles := make([]*vb.Bundle, len(series))
 	for i := range series {
 		b, err := fc.NewBundle(series[i], vb.Wind, names[i])
@@ -90,14 +106,35 @@ func main() {
 		Policy:     policy,
 		PlanStep:   series[0].Step,
 		UtilTarget: *util,
+		Obs:        reg,
 	}, vb.SimInput{
 		Actual:     series,
 		Bundles:    bundles,
 		TotalCores: *cores,
 		Apps:       apps,
+		Obs:        reg,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if err := reg.Tracer().Err(); err != nil {
+		log.Fatalf("writing trace: %v", err)
+	}
+	if *metricsOut != "" {
+		m := reg.Manifest()
+		m.Seed = *seed
+		m.Policy = policy.String()
+		m.Fleet = names
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	total, p99, peak, std, err := res.Summary()

@@ -7,6 +7,7 @@
 //	vbsched
 //	vbsched -days 7 -apps 6 -util 0.7 -policy MIP-peak
 //	vbsched -csv > transfers.csv
+//	vbsched -policy MIP -trace run.jsonl -metrics run.json
 package main
 
 import (
@@ -23,17 +24,32 @@ func main() {
 	log.SetPrefix("vbsched: ")
 
 	var (
-		days      = flag.Int("days", 7, "days to simulate")
-		seed      = flag.Uint64("seed", vb.DefaultSeed, "random seed")
-		apps      = flag.Float64("apps", 6, "application arrivals per day")
-		util      = flag.Float64("util", 0.7, "admission utilization target")
-		maxSites  = flag.Int("maxsites", 3, "max sites per application")
-		policyArg = flag.String("policy", "", `run one policy only ("Greedy", "MIP", "MIP-24h", "MIP-peak")`)
-		leadFc    = flag.Bool("leadforecasts", false, "use lead-dependent forecast degradation instead of the day-ahead archive")
-		csvOut    = flag.Bool("csv", false, "emit per-policy transfer series as CSV")
-		chart     = flag.Bool("chart", false, "render the Fig 7 CDF as an ASCII chart")
+		days       = flag.Int("days", 7, "days to simulate")
+		seed       = flag.Uint64("seed", vb.DefaultSeed, "random seed")
+		apps       = flag.Float64("apps", 6, "application arrivals per day")
+		util       = flag.Float64("util", 0.7, "admission utilization target")
+		maxSites   = flag.Int("maxsites", 3, "max sites per application")
+		policyArg  = flag.String("policy", "", `run one policy only ("Greedy", "MIP", "MIP-24h", "MIP-peak")`)
+		leadFc     = flag.Bool("leadforecasts", false, "use lead-dependent forecast degradation instead of the day-ahead archive")
+		csvOut     = flag.Bool("csv", false, "emit per-policy transfer series as CSV")
+		chart      = flag.Bool("chart", false, "render the Fig 7 CDF as an ASCII chart")
+		traceOut   = flag.String("trace", "", "write structured run events to this JSONL file")
+		metricsOut = flag.String("metrics", "", "write the run manifest (metrics JSON) to this file")
 	)
 	flag.Parse()
+
+	var reg *vb.MetricsRegistry
+	if *traceOut != "" || *metricsOut != "" {
+		reg = vb.NewMetrics()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		reg.Tracer().SetSink(f)
+	}
 
 	setup := vb.Table1Setup{
 		Seed:                   *seed,
@@ -42,6 +58,7 @@ func main() {
 		UtilTarget:             *util,
 		MaxSitesPerApp:         *maxSites,
 		LeadDependentForecasts: *leadFc,
+		Obs:                    reg,
 	}
 	if *policyArg != "" {
 		var found bool
@@ -59,6 +76,29 @@ func main() {
 	res, err := vb.Table1PolicyComparison(setup)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if err := reg.Tracer().Err(); err != nil {
+		log.Fatalf("writing trace: %v", err)
+	}
+	if *metricsOut != "" {
+		m := reg.Manifest()
+		m.Seed = *seed
+		for _, s := range res.Group {
+			m.Fleet = append(m.Fleet, s.Name)
+		}
+		if len(setup.Policies) == 1 {
+			m.Policy = setup.Policies[0].String()
+		}
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *csvOut {
 		names := make([]string, 0, len(res.Rows))

@@ -6,12 +6,16 @@
 //
 //	vbsim -days 7 -source wind
 //	vbsim -days 90 -source solar -csv > transfers.csv
+//	vbsim -days 7 -trace run.jsonl -metrics run.json
+//	vbsim -days 365 -pprof localhost:6060
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	vb "github.com/vbcloud/vb"
@@ -22,13 +26,23 @@ func main() {
 	log.SetPrefix("vbsim: ")
 
 	var (
-		days      = flag.Int("days", 7, "days to simulate")
-		seed      = flag.Uint64("seed", vb.DefaultSeed, "random seed")
-		sourceArg = flag.String("source", "wind", `power source: "wind" or "solar"`)
-		csvOut    = flag.Bool("csv", false, "emit the per-step power/in/out series as CSV")
-		chart     = flag.Bool("chart", false, "render the Fig 4a timeline as an ASCII chart")
+		days       = flag.Int("days", 7, "days to simulate")
+		seed       = flag.Uint64("seed", vb.DefaultSeed, "random seed")
+		sourceArg  = flag.String("source", "wind", `power source: "wind" or "solar"`)
+		csvOut     = flag.Bool("csv", false, "emit the per-step power/in/out series as CSV")
+		chart      = flag.Bool("chart", false, "render the Fig 4a timeline as an ASCII chart")
+		traceOut   = flag.String("trace", "", "write structured run events to this JSONL file")
+		metricsOut = flag.String("metrics", "", "write the run manifest (metrics JSON) to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+		log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+	}
 
 	var src vb.Source
 	switch *sourceArg {
@@ -40,9 +54,40 @@ func main() {
 		log.Fatalf("unknown -source %q", *sourceArg)
 	}
 
-	res, err := vb.Fig4Migration(*seed, src, *days)
+	var reg *vb.MetricsRegistry
+	if *traceOut != "" || *metricsOut != "" {
+		reg = vb.NewMetrics()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		reg.Tracer().SetSink(f)
+	}
+
+	res, err := vb.Fig4MigrationObs(*seed, src, *days, reg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if err := reg.Tracer().Err(); err != nil {
+		log.Fatalf("writing trace: %v", err)
+	}
+	if *metricsOut != "" {
+		m := reg.Manifest()
+		m.Seed = *seed
+		m.Fleet = []string{*sourceArg}
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *csvOut {
 		if err := vb.WriteCSV(os.Stdout, []string{"power", "out_gb", "in_gb"},

@@ -23,13 +23,14 @@ func main() {
 	log.SetPrefix("vbtrace: ")
 
 	var (
-		days     = flag.Int("days", 7, "days of trace to generate")
-		step     = flag.Duration("step", 15*time.Minute, "sampling step (must divide 24h)")
-		seed     = flag.Uint64("seed", vb.DefaultSeed, "random seed")
-		sitesArg = flag.String("sites", "trio", `site set: "trio" (NO/UK/PT) or "fleet" (12 sites)`)
-		format   = flag.String("format", "csv", `output: "csv", "summary" or "chart"`)
-		fcH      = flag.Duration("forecast", 0, "also emit forecasts at this horizon (e.g. 24h; 0 = none)")
-		startArg = flag.String("start", "2020-01-01", "trace start date (YYYY-MM-DD)")
+		days       = flag.Int("days", 7, "days of trace to generate")
+		step       = flag.Duration("step", 15*time.Minute, "sampling step (must divide 24h)")
+		seed       = flag.Uint64("seed", vb.DefaultSeed, "random seed")
+		sitesArg   = flag.String("sites", "trio", `site set: "trio" (NO/UK/PT) or "fleet" (12 sites)`)
+		format     = flag.String("format", "csv", `output: "csv", "summary" or "chart"`)
+		fcH        = flag.Duration("forecast", 0, "also emit forecasts at this horizon (e.g. 24h; 0 = none)")
+		startArg   = flag.String("start", "2020-01-01", "trace start date (YYYY-MM-DD)")
+		metricsOut = flag.String("metrics", "", "write a generation manifest (metrics JSON) to this file")
 	)
 	flag.Parse()
 
@@ -47,8 +48,14 @@ func main() {
 		log.Fatalf("unknown -sites %q", *sitesArg)
 	}
 
+	var reg *vb.MetricsRegistry
+	if *metricsOut != "" {
+		reg = vb.NewMetrics()
+	}
+
 	n := int(time.Duration(*days) * 24 * time.Hour / *step)
 	world := vb.NewWorld(*seed)
+	world.Obs = reg
 	series, err := world.Generate(sites, start, *step, n)
 	if err != nil {
 		log.Fatal(err)
@@ -61,6 +68,7 @@ func main() {
 
 	if *fcH > 0 {
 		fc := vb.NewForecaster(*seed)
+		fc.Obs = reg
 		for i, s := range sites {
 			f, err := fc.Forecast(series[i], s.Source, *fcH, s.Name)
 			if err != nil {
@@ -68,6 +76,22 @@ func main() {
 			}
 			series = append(series, f)
 			names = append(names, s.Name+"-fc")
+		}
+	}
+
+	if *metricsOut != "" {
+		m := reg.Manifest()
+		m.Seed = *seed
+		m.Fleet = names
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
 		}
 	}
 

@@ -292,7 +292,16 @@ type Fig4Result struct {
 // single 700-server VB site driven by `days` of power from the given
 // source, with an Azure-like VM arrival trace.
 func Fig4Migration(seed uint64, src Source, days int) (Fig4Result, error) {
+	return Fig4MigrationObs(seed, src, days, nil)
+}
+
+// Fig4MigrationObs is Fig4Migration observed by a metrics registry: trace
+// generation, the cluster run and per-step SiteStep events report into reg.
+// A nil registry is free.
+func Fig4MigrationObs(seed uint64, src Source, days int, reg *MetricsRegistry) (Fig4Result, error) {
+	defer TimeSpan(reg, "fig4.run")()
 	w := energy.NewWorld(seed)
+	w.Obs = reg
 	name := "BE-wind"
 	lat, lon := 51.2, 2.9
 	if src == Solar {
@@ -315,9 +324,15 @@ func Fig4Migration(seed uint64, src Source, days int) (Fig4Result, error) {
 	if err != nil {
 		return Fig4Result{}, err
 	}
-	run, err := cluster.Run(cluster.DefaultConfig(), power[0], vms, 96)
+	run, err := cluster.RunObs(cluster.DefaultConfig(), power[0], vms, 96, reg)
 	if err != nil {
 		return Fig4Result{}, err
+	}
+	if reg != nil {
+		reg.SetLabel("experiment", "fig4")
+		reg.SetLabel("source", src.String())
+		reg.SetGauge("fig4.vms", float64(len(vms)))
+		reg.SetGauge("fig4.quiet_fraction", run.FractionQuietChanges())
 	}
 	res := Fig4Result{Source: src, Run: run, QuietFraction: run.FractionQuietChanges()}
 	if nz := run.InGB.NonZero(1e-9); len(nz) > 0 {

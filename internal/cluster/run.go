@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/vbcloud/vb/internal/obs"
 	"github.com/vbcloud/vb/internal/trace"
 	"github.com/vbcloud/vb/internal/workload"
 )
@@ -70,6 +71,15 @@ func (r RunResult) quietFraction(quietStep func(StepResult) bool) float64 {
 // reaches its steady-state utilization before power tracking begins, then
 // excluded from the returned series.
 func Run(cfg Config, power trace.Series, vms []workload.VM, warmup int) (RunResult, error) {
+	return RunObs(cfg, power, vms, warmup, nil)
+}
+
+// RunObs is Run with an observability registry: each post-warm-up step with
+// VM activity emits a SiteStep event (traffic, evictions, launches) and the
+// per-step out/in traffic feeds registry histograms. A nil registry makes
+// RunObs identical to Run.
+func RunObs(cfg Config, power trace.Series, vms []workload.VM, warmup int, reg *obs.Registry) (RunResult, error) {
+	defer obs.Time(reg, "cluster.run")()
 	if power.IsEmpty() {
 		return RunResult{}, trace.ErrEmptySeries
 	}
@@ -119,7 +129,19 @@ func Run(cfg Config, power trace.Series, vms []workload.VM, warmup int) (RunResu
 			res.OutGB.Values[j] = step.OutGB
 			res.InGB.Values[j] = step.InGB
 			res.Utilization.Values[j] = site.Utilization()
+			if reg != nil {
+				reg.Observe("cluster.step_out_gb", step.OutGB)
+				reg.Observe("cluster.step_in_gb", step.InGB)
+				if step.OutGB != 0 || step.InGB != 0 || step.Evicted != 0 || step.Launched != 0 {
+					reg.Emit(obs.Event{Type: obs.SiteStep, Step: j, App: -1, Site: 0, Dst: -1,
+						Cores: float64(step.Evicted + step.Launched), GB: step.OutGB + step.InGB})
+				}
+			}
 		}
+	}
+	if reg != nil {
+		reg.Add("cluster.out_gb", res.TotalOutGB())
+		reg.Add("cluster.in_gb", res.TotalInGB())
 	}
 	return res, nil
 }

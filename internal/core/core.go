@@ -21,6 +21,8 @@ package core
 import (
 	"fmt"
 	"time"
+
+	"github.com/vbcloud/vb/internal/obs"
 )
 
 // Policy selects a scheduling strategy from the paper's Table 1.
@@ -80,6 +82,10 @@ type Config struct {
 	UtilTarget float64
 	// MIPNodes caps branch-and-bound nodes per placement (0 = 2000).
 	MIPNodes int
+	// Obs, when non-nil, receives scheduler metrics and trace events
+	// (solve timings, objective values, placement counters). A nil
+	// registry is a no-op and costs nothing on the hot path.
+	Obs *obs.Registry
 }
 
 func (c Config) maxSites() int {

@@ -7,6 +7,7 @@ import (
 
 	"github.com/vbcloud/vb/internal/lp"
 	"github.com/vbcloud/vb/internal/mip"
+	"github.com/vbcloud/vb/internal/obs"
 )
 
 // Scheduler places applications onto the sites of one multi-VB group over a
@@ -98,6 +99,8 @@ type CapacityFn func(site, step int) float64
 // forcing phantom moves during genuine scarcity. A nil stableCap reuses
 // predCap.
 func (s *Scheduler) Place(app AppDemand, nowStep, endStep int, predCap, stableCap CapacityFn, prev []float64, prevPlan [][]float64) (Plan, error) {
+	defer obs.Time(s.cfg.Obs, "scheduler.place")()
+	s.cfg.Obs.Inc("scheduler.placements")
 	if err := app.Validate(); err != nil {
 		return Plan{}, err
 	}
@@ -345,10 +348,27 @@ func (s *Scheduler) placeMIP(app AppDemand, nowStep, endStep int, predCap, stabl
 		integer[yVar(site)] = true
 	}
 
+	reg := s.cfg.Obs
+	var solveStart time.Time
+	if reg != nil {
+		solveStart = time.Now()
+		reg.Emit(obs.Event{Type: obs.MIPSolveStart, Step: nowStep, App: app.ID, Site: -1, Dst: -1, Cores: demand})
+	}
 	sol, err := mip.Solve(mip.Problem{
 		Problem: lp.Problem{NumVars: numVars, Objective: obj, Constraints: cons},
 		Integer: integer,
 	}, mip.Options{MaxNodes: s.cfg.mipNodes(), Gap: 0.01})
+	if reg != nil {
+		d := time.Since(solveStart)
+		reg.ObserveDuration("mip.solve", d)
+		reg.Add("mip.nodes", float64(sol.Nodes))
+		if err == nil && sol.Status == lp.Optimal {
+			reg.Emit(obs.Event{Type: obs.MIPSolveFinish, Step: nowStep, App: app.ID, Site: -1, Dst: -1,
+				Cores: demand, DurNS: d.Nanoseconds(), Objective: sol.Objective})
+		} else {
+			reg.Inc("mip.failures")
+		}
+	}
 	if err != nil {
 		return Plan{}, err
 	}

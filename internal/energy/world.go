@@ -7,6 +7,7 @@ import (
 	"math/rand/v2"
 	"time"
 
+	"github.com/vbcloud/vb/internal/obs"
 	"github.com/vbcloud/vb/internal/trace"
 )
 
@@ -26,6 +27,9 @@ type World struct {
 	// explained by regional (shared) drivers; the rest is micro-climate.
 	// Zero selects the default of 0.8.
 	RegionalShare float64
+	// Obs, when non-nil, receives trace-generation timings and sample
+	// counters. A nil registry is a no-op.
+	Obs *obs.Registry
 }
 
 // NewWorld returns a World with default correlation structure.
@@ -136,6 +140,8 @@ func stepsPerDay(step time.Duration) (int, error) {
 // of nameplate capacity) per site, jointly so that the correlation structure
 // is consistent. All sites share the same time base.
 func (w *World) Generate(cfgs []SiteConfig, start time.Time, step time.Duration, n int) ([]trace.Series, error) {
+	defer obs.Time(w.Obs, "energy.generate")()
+	w.Obs.Add("energy.samples", float64(n*len(cfgs)))
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("energy: no sites")
 	}

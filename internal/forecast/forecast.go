@@ -19,9 +19,11 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand/v2"
+	"sync/atomic"
 	"time"
 
 	"github.com/vbcloud/vb/internal/energy"
+	"github.com/vbcloud/vb/internal/obs"
 	"github.com/vbcloud/vb/internal/stats"
 	"github.com/vbcloud/vb/internal/trace"
 )
@@ -38,6 +40,9 @@ type Forecaster struct {
 	// Seed namespaces the error processes; forecasts are deterministic
 	// given (Seed, series identity label, horizon).
 	Seed uint64
+	// Obs, when non-nil, receives generation timings and is inherited by
+	// bundles built with NewBundle (horizon-switch events).
+	Obs *obs.Registry
 }
 
 // New returns a Forecaster with the given seed.
@@ -66,6 +71,7 @@ func sigmaFor(src energy.Source, horizon time.Duration) float64 {
 // should identify the site so different sites get independent error
 // processes.
 func (f *Forecaster) Forecast(truth trace.Series, src energy.Source, horizon time.Duration, label string) (trace.Series, error) {
+	defer obs.Time(f.Obs, "forecast.generate")()
 	if truth.IsEmpty() {
 		return trace.Series{}, trace.ErrEmptySeries
 	}
@@ -102,12 +108,17 @@ type Bundle struct {
 	horizons []time.Duration
 	series   []trace.Series
 	fixed    time.Duration
+	// obs receives horizon-switch events; lastHorizon (atomic, ns) is the
+	// horizon the previous PredictAt answered from, so only genuine
+	// switches are traced.
+	obs         *obs.Registry
+	lastHorizon int64
 }
 
 // NewBundle generates forecasts for the standard 3 h / day / week horizons.
 func (f *Forecaster) NewBundle(truth trace.Series, src energy.Source, label string) (*Bundle, error) {
 	hs := []time.Duration{Horizon3H, HorizonDay, HorizonWeek}
-	b := &Bundle{truth: truth, horizons: hs}
+	b := &Bundle{truth: truth, horizons: hs, obs: f.Obs}
 	for _, h := range hs {
 		s, err := f.Forecast(truth, src, h, label)
 		if err != nil {
@@ -120,6 +131,25 @@ func (f *Forecaster) NewBundle(truth trace.Series, src energy.Source, label stri
 
 // Truth returns the underlying actual series.
 func (b *Bundle) Truth() trace.Series { return b.truth }
+
+// SetObs attaches an observability registry: subsequent PredictAt calls
+// emit a HorizonSwitch event whenever they answer from a different
+// standard horizon than the previous call. Pass nil to detach.
+func (b *Bundle) SetObs(r *obs.Registry) { b.obs = r }
+
+// noteHorizon traces horizon changes (h = 0 means nowcast/truth).
+func (b *Bundle) noteHorizon(h time.Duration) {
+	if b.obs == nil {
+		return
+	}
+	old := atomic.SwapInt64(&b.lastHorizon, int64(h))
+	if old == int64(h) {
+		return
+	}
+	b.obs.Inc("forecast.horizon_switches")
+	b.obs.Emit(obs.Event{Type: obs.HorizonSwitch, Step: -1, App: -1, Site: -1, Dst: -1,
+		DurNS: int64(h), Detail: time.Duration(old).String() + "->" + h.String()})
+}
 
 // UseFixedHorizon makes PredictAt always answer from the forecast at the
 // given standard horizon, regardless of lead time. This mirrors offline
@@ -156,6 +186,7 @@ func (b *Bundle) Horizon(h time.Duration) (trace.Series, error) {
 func (b *Bundle) PredictAt(now, target time.Time) (float64, bool) {
 	lead := target.Sub(now)
 	if lead <= 0 {
+		b.noteHorizon(0)
 		return b.truth.At(target)
 	}
 	if b.fixed != 0 {
@@ -163,14 +194,17 @@ func (b *Bundle) PredictAt(now, target time.Time) (float64, bool) {
 		if err != nil {
 			return 0, false
 		}
+		b.noteHorizon(b.fixed)
 		return s.At(target)
 	}
 	for i, h := range b.horizons {
 		if lead <= h {
+			b.noteHorizon(h)
 			return b.series[i].At(target)
 		}
 	}
 	// Beyond the longest horizon: use the longest one.
+	b.noteHorizon(b.horizons[len(b.horizons)-1])
 	return b.series[len(b.series)-1].At(target)
 }
 

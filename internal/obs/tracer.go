@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"sync"
+)
+
+// EventType names a structured simulation event.
+type EventType string
+
+// Simulation event types. GB and core totals per type are tracked exactly
+// by the Tracer, so event streams reconcile with run aggregates.
+const (
+	// PlanComputed marks a scheduler placement or re-plan for one app.
+	PlanComputed EventType = "plan_computed"
+	// PlannedRealloc is a scheduler-initiated move of cores between sites.
+	PlannedRealloc EventType = "planned_realloc"
+	// ForcedMigration is a reactive move after actual power fell below the
+	// allocation at a site.
+	ForcedMigration EventType = "forced_migration"
+	// StablePause marks stable cores pausing in place with nowhere to go
+	// (an availability violation).
+	StablePause EventType = "stable_pause"
+	// Shortfall marks demanded stable cores the plan itself left unplaced.
+	Shortfall EventType = "shortfall"
+	// HorizonSwitch marks a forecast bundle answering from a different
+	// standard horizon than the previous query.
+	HorizonSwitch EventType = "horizon_switch"
+	// MIPSolveStart and MIPSolveFinish bracket one site-selection MIP
+	// solve; the finish event carries wall-clock duration and objective.
+	MIPSolveStart  EventType = "mip_solve_start"
+	MIPSolveFinish EventType = "mip_solve_finish"
+	// VMEvicted, VMMoved and VMPlacementFail are VM-granularity events
+	// from the VM-level engine and the single-site cluster simulator.
+	VMEvicted       EventType = "vm_evicted"
+	VMMoved         EventType = "vm_moved"
+	VMPlacementFail EventType = "vm_placement_failed"
+	// SiteStep summarizes one single-site cluster step with traffic.
+	SiteStep EventType = "site_step"
+)
+
+// Event is one structured simulation event. Site, Dst, App and VM are -1
+// when not applicable.
+type Event struct {
+	// Seq is the emission sequence number, assigned by the Tracer.
+	Seq int64 `json:"seq"`
+	// Type is the event type.
+	Type EventType `json:"type"`
+	// Step is the global plan-step index (-1 when unknown).
+	Step int `json:"step"`
+	// App is the application ID, Site the source site index, Dst the
+	// destination site index, VM the VM ID.
+	App  int `json:"app"`
+	Site int `json:"site"`
+	Dst  int `json:"dst"`
+	VM   int `json:"vm,omitempty"`
+	// Cores is the core count the event concerns, GB the bytes moved.
+	Cores float64 `json:"cores,omitempty"`
+	GB    float64 `json:"gb,omitempty"`
+	// DurNS is a wall-clock duration in nanoseconds (solve finish).
+	DurNS int64 `json:"dur_ns,omitempty"`
+	// Objective is the solver's objective value (solve finish).
+	Objective float64 `json:"objective,omitempty"`
+	// Detail carries free-form context ("replan", "24h0m0s->168h0m0s").
+	Detail string `json:"detail,omitempty"`
+}
+
+// TypeStats aggregates one event type's exact totals.
+type TypeStats struct {
+	Count int64   `json:"count"`
+	GB    float64 `json:"gb,omitempty"`
+	Cores float64 `json:"cores,omitempty"`
+}
+
+// DefaultRingSize is the tracer ring-buffer capacity when unspecified.
+const DefaultRingSize = 4096
+
+// Tracer collects structured events into a bounded in-memory ring buffer
+// and optionally mirrors each event to a JSONL sink. Per-type counts and
+// totals are exact regardless of ring wrap. All methods are concurrency-
+// safe and nil-safe.
+type Tracer struct {
+	mu      sync.Mutex
+	seq     int64
+	size    int
+	ring    []Event
+	next    int
+	wrapped bool
+	stats   map[EventType]TypeStats
+	enc     *json.Encoder
+	sinkErr error
+}
+
+// NewTracer returns a tracer whose ring holds up to ringSize events
+// (DefaultRingSize when <= 0).
+func NewTracer(ringSize int) *Tracer {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	return &Tracer{size: ringSize, stats: map[EventType]TypeStats{}}
+}
+
+// SetSink mirrors every subsequently emitted event to w as one JSON object
+// per line (JSONL). Pass nil to detach.
+func (t *Tracer) SetSink(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if w == nil {
+		t.enc = nil
+	} else {
+		t.enc = json.NewEncoder(w)
+	}
+	t.mu.Unlock()
+}
+
+// Emit records an event, assigning its sequence number.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	e.Seq = t.seq
+	t.seq++
+	s := t.stats[e.Type]
+	s.Count++
+	s.GB += e.GB
+	s.Cores += e.Cores
+	t.stats[e.Type] = s
+	if len(t.ring) < t.size {
+		t.ring = append(t.ring, e)
+	} else {
+		t.ring[t.next] = e
+		t.next = (t.next + 1) % t.size
+		t.wrapped = true
+	}
+	if t.enc != nil && t.sinkErr == nil {
+		t.sinkErr = t.enc.Encode(e)
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the buffered events, oldest first. After the ring wraps
+// only the most recent ring-size events remain (Count stays exact).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.ring))
+	if t.wrapped {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// Count returns how many events of the given type were ever emitted.
+func (t *Tracer) Count(ty EventType) int64 { return t.Stats(ty).Count }
+
+// GBTotal returns the exact sum of GB over all events of the given type.
+func (t *Tracer) GBTotal(ty EventType) float64 { return t.Stats(ty).GB }
+
+// CoreTotal returns the exact sum of Cores over all events of the type.
+func (t *Tracer) CoreTotal(ty EventType) float64 { return t.Stats(ty).Cores }
+
+// Stats returns the exact aggregate for one event type.
+func (t *Tracer) Stats(ty EventType) TypeStats {
+	if t == nil {
+		return TypeStats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats[ty]
+}
+
+// AllStats returns a copy of every event type's aggregate.
+func (t *Tracer) AllStats() map[EventType]TypeStats {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[EventType]TypeStats, len(t.stats))
+	for k, v := range t.stats {
+		out[k] = v
+	}
+	return out
+}
+
+// Err returns the first sink write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sinkErr
+}
+
+// ReadEvents decodes a JSONL event stream written by a Tracer sink.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/vbcloud/vb/internal/core"
+	"github.com/vbcloud/vb/internal/obs"
+)
+
+// TestObsEventReconciliation checks the acceptance property of the event
+// stream: per-type event totals must reconcile *exactly* (bit-identical
+// float sums, not approximately) with the run's aggregate results, because
+// the tracer accumulates them in the same order the simulation does.
+func TestObsEventReconciliation(t *testing.T) {
+	for _, pol := range []core.Policy{core.Greedy, core.MIP} {
+		in := trioInput(t, 4, 6)
+		reg := obs.NewRegistry()
+		in.Obs = reg
+		res, err := Run(simConfig(pol), in)
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		tr := reg.Tracer()
+		if got := tr.GBTotal(obs.ForcedMigration); got != res.ForcedGB {
+			t.Errorf("%v: forced event GB %v != result ForcedGB %v", pol, got, res.ForcedGB)
+		}
+		if got := tr.GBTotal(obs.PlannedRealloc); got != res.PlannedGB {
+			t.Errorf("%v: planned event GB %v != result PlannedGB %v", pol, got, res.PlannedGB)
+		}
+		if got := tr.CoreTotal(obs.StablePause); got != res.PausedStableCoreSteps {
+			t.Errorf("%v: pause event cores %v != result PausedStableCoreSteps %v", pol, got, res.PausedStableCoreSteps)
+		}
+		if got := tr.CoreTotal(obs.Shortfall); got != res.ShortfallCoreSteps {
+			t.Errorf("%v: shortfall event cores %v != result ShortfallCoreSteps %v", pol, got, res.ShortfallCoreSteps)
+		}
+		if got := tr.Count(obs.PlanComputed); got != int64(res.Placements) {
+			t.Errorf("%v: plan events %d != result Placements %d", pol, got, res.Placements)
+		}
+		if res.Placements == 0 {
+			t.Errorf("%v: run placed nothing; reconciliation is vacuous", pol)
+		}
+	}
+}
+
+// TestObsRegistryViaConfig checks that attaching the registry to the
+// scheduler config (rather than the input) observes the same run, and that
+// timing histograms actually record.
+func TestObsRegistryViaConfig(t *testing.T) {
+	in := trioInput(t, 2, 6)
+	reg := obs.NewRegistry()
+	cfg := simConfig(core.MIP)
+	cfg.Obs = reg
+	res, err := Run(cfg, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Tracer().Count(obs.PlanComputed); got != int64(res.Placements) {
+		t.Errorf("plan events %d != placements %d", got, res.Placements)
+	}
+	h, ok := reg.Histogram("sim.run")
+	if !ok || h.Count != 1 {
+		t.Errorf("sim.run histogram = %+v, %v; want one recorded span", h, ok)
+	}
+	if _, ok := reg.Histogram("mip.solve"); !ok {
+		t.Error("MIP run recorded no mip.solve timings")
+	}
+	if n, _ := reg.Gauge("sim.steps"); n <= 0 {
+		t.Errorf("sim.steps gauge = %v; want positive", n)
+	}
+}
+
+// TestObsNilRegistryUnchanged checks a nil registry leaves results
+// identical to an observed run (observability must never perturb the
+// simulation).
+func TestObsNilRegistryUnchanged(t *testing.T) {
+	plain, err := Run(simConfig(core.MIP), trioInput(t, 2, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := trioInput(t, 2, 6)
+	in.Obs = obs.NewRegistry()
+	observed, err := Run(simConfig(core.MIP), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.PlannedGB != observed.PlannedGB || plain.ForcedGB != observed.ForcedGB ||
+		plain.PausedStableCoreSteps != observed.PausedStableCoreSteps ||
+		plain.Placements != observed.Placements {
+		t.Errorf("observed run diverged: plain=%+v observed=%+v", plain, observed)
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"github.com/vbcloud/vb/internal/core"
 	"github.com/vbcloud/vb/internal/forecast"
+	"github.com/vbcloud/vb/internal/obs"
 	"github.com/vbcloud/vb/internal/stats"
 	"github.com/vbcloud/vb/internal/trace"
 )
@@ -37,6 +38,10 @@ type Input struct {
 	TotalCores float64
 	// Apps are the application demands, sorted by Start.
 	Apps []core.AppDemand
+	// Obs, when non-nil, receives per-step metrics and structured events
+	// (planned reallocations, forced migrations, pauses, shortfalls) from
+	// the engine. A nil registry is a no-op.
+	Obs *obs.Registry
 }
 
 // Validate reports input errors.
@@ -49,6 +54,9 @@ func (in Input) Validate() error {
 	}
 	if in.TotalCores <= 0 {
 		return fmt.Errorf("sim: non-positive core count %v", in.TotalCores)
+	}
+	if len(in.Apps) == 0 {
+		return fmt.Errorf("sim: no applications to schedule (Input.Apps is empty)")
 	}
 	base := in.Actual[0]
 	if base.IsEmpty() {
@@ -155,6 +163,22 @@ func Run(cfg core.Config, in Input) (Result, error) {
 	}
 	numSites := len(in.Actual)
 	T := base.Len()
+	// One registry observes the whole run: the engine's (preferred) or the
+	// scheduler config's; whichever is set also covers the other layer.
+	reg := in.Obs
+	if reg == nil {
+		reg = cfg.Obs
+	} else if cfg.Obs == nil {
+		cfg.Obs = reg
+	}
+	defer obs.Time(reg, "sim.run")()
+	reg.SetGauge("sim.sites", float64(numSites))
+	reg.SetGauge("sim.steps", float64(T))
+	if reg != nil {
+		for _, b := range in.Bundles {
+			b.SetObs(reg)
+		}
+	}
 	sched, err := core.NewScheduler(cfg, numSites, T)
 	if err != nil {
 		return Result{}, err
@@ -226,6 +250,9 @@ func Run(cfg core.Config, in Input) (Result, error) {
 				}
 				a.plan = plan
 				res.Placements++
+				reg.Inc("sim.replans")
+				reg.Emit(obs.Event{Type: obs.PlanComputed, Step: t, App: a.demand.ID, Site: -1, Dst: -1,
+					Cores: a.demand.StableCores, Detail: "replan"})
 			}
 		}
 
@@ -256,6 +283,9 @@ func Run(cfg core.Config, in Input) (Result, error) {
 			}
 			active = append(active, st)
 			res.Placements++
+			reg.Inc("sim.admissions")
+			reg.Emit(obs.Event{Type: obs.PlanComputed, Step: t, App: d.ID, Site: -1, Dst: -1,
+				Cores: d.StableCores, Detail: "admit"})
 		}
 
 		// Current per-site load.
@@ -306,6 +336,8 @@ func Run(cfg core.Config, in Input) (Result, error) {
 					res.PlannedGB += gb
 					res.InBySite[dst].Values[t] += gb
 					res.OutBySite[src].Values[t] += gb
+					reg.Emit(obs.Event{Type: obs.PlannedRealloc, Step: t, App: a.demand.ID,
+						Site: src, Dst: dst, Cores: x, GB: gb})
 				}
 			}
 		}
@@ -346,6 +378,8 @@ func Run(cfg core.Config, in Input) (Result, error) {
 					res.ForcedGB += gb
 					res.InBySite[d].Values[t] += gb
 					res.OutBySite[s].Values[t] += gb
+					reg.Emit(obs.Event{Type: obs.ForcedMigration, Step: t, App: a.demand.ID,
+						Site: s, Dst: d, Cores: x, GB: gb})
 				}
 				// Whatever could not move pauses in place: availability
 				// violation.
@@ -353,6 +387,8 @@ func Run(cfg core.Config, in Input) (Result, error) {
 				if rest > 1e-9 {
 					res.PausedStableCoreSteps += rest
 					res.PerAppPaused[a.demand.ID] += rest
+					reg.Emit(obs.Event{Type: obs.StablePause, Step: t, App: a.demand.ID,
+						Site: s, Dst: -1, Cores: rest})
 				}
 				over -= move
 			}
@@ -382,9 +418,12 @@ func Run(cfg core.Config, in Input) (Result, error) {
 			if gap := a.demand.StableCores - placed; gap > 1e-9 {
 				res.ShortfallCoreSteps += gap
 				res.PerAppPaused[a.demand.ID] += gap
+				reg.Emit(obs.Event{Type: obs.Shortfall, Step: t, App: a.demand.ID,
+					Site: -1, Dst: -1, Cores: gap})
 			}
 			res.PerAppDemand[a.demand.ID] += a.demand.StableCores
 		}
+		reg.Observe("sim.step_transfer_gb", res.Transfer.Values[t])
 	}
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -100,6 +101,13 @@ func TestInputValidate(t *testing.T) {
 	bad.Apps = []core.AppDemand{{}}
 	if err := bad.Validate(); err == nil {
 		t.Error("invalid app should error")
+	}
+	bad = good
+	bad.Apps = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("empty app list should error")
+	} else if !strings.Contains(err.Error(), "no applications") {
+		t.Errorf("empty app list error %q should mention no applications", err)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"github.com/vbcloud/vb/internal/cluster"
 	"github.com/vbcloud/vb/internal/core"
 	"github.com/vbcloud/vb/internal/forecast"
+	"github.com/vbcloud/vb/internal/obs"
 	"github.com/vbcloud/vb/internal/trace"
 	"github.com/vbcloud/vb/internal/workload"
 )
@@ -52,6 +53,18 @@ func RunVMLevel(cfg core.Config, in Input, apps []workload.App, clusterCfg clust
 	}
 	numSites := len(in.Actual)
 	T := base.Len()
+	reg := in.Obs
+	if reg == nil {
+		reg = cfg.Obs
+	} else if cfg.Obs == nil {
+		cfg.Obs = reg
+	}
+	defer obs.Time(reg, "sim.vmlevel.run")()
+	if reg != nil {
+		for _, b := range in.Bundles {
+			b.SetObs(reg)
+		}
+	}
 	sched, err := core.NewScheduler(cfg, numSites, T)
 	if err != nil {
 		return VMLevelResult{}, err
@@ -119,6 +132,8 @@ func RunVMLevel(cfg core.Config, in Input, apps []workload.App, clusterCfg clust
 		for sIdx, site := range sites {
 			for _, vm := range site.SetPowerEvict(in.Actual[sIdx].Values[t]) {
 				vmSite[vm.ID] = -1
+				reg.Emit(obs.Event{Type: obs.VMEvicted, Step: t, App: vm.AppID, Site: sIdx, Dst: -1,
+					VM: vm.ID, Cores: float64(vm.Cores), GB: float64(vm.MemoryGB)})
 			}
 		}
 
@@ -162,7 +177,7 @@ func RunVMLevel(cfg core.Config, in Input, apps []workload.App, clusterCfg clust
 			if !st.started || t >= st.endStep || st.plan.Alloc == nil {
 				continue
 			}
-			res.reconcile(st.vms, st.plan, t, sites, vmSite)
+			res.reconcile(st.vms, st.plan, t, sites, vmSite, reg)
 		}
 
 		// 4. Re-home displaced VMs and start never-placed VMs at their
@@ -186,10 +201,15 @@ func RunVMLevel(cfg core.Config, in Input, apps []workload.App, clusterCfg clust
 						gb := float64(vm.MemoryGB)
 						res.Transfer.Values[t] += gb
 						res.Moves++
+						reg.Emit(obs.Event{Type: obs.VMMoved, Step: t, App: vm.AppID, Site: -1,
+							Dst: placed, VM: vm.ID, Cores: float64(vm.Cores), GB: gb, Detail: "rehome"})
 					}
 					vmSite[vm.ID] = placed
 				} else {
 					res.FailedPlacements++
+					reg.Inc("sim.vmlevel.failed_placements")
+					reg.Emit(obs.Event{Type: obs.VMPlacementFail, Step: t, App: vm.AppID, Site: -1, Dst: -1,
+						VM: vm.ID, Cores: float64(vm.Cores)})
 				}
 			}
 		}
@@ -212,6 +232,7 @@ func RunVMLevel(cfg core.Config, in Input, apps []workload.App, clusterCfg clust
 			frag += site.Snapshot().Fragmentation
 		}
 		res.Fragmentation += frag / float64(numSites)
+		reg.Observe("sim.vmlevel.step_transfer_gb", res.Transfer.Values[t])
 	}
 	res.Fragmentation /= float64(T)
 	return res, nil
@@ -219,7 +240,7 @@ func RunVMLevel(cfg core.Config, in Input, apps []workload.App, clusterCfg clust
 
 // reconcile moves an app's VMs between sites until per-site core sums are
 // within one VM of the plan, charging traffic for each move.
-func (r *VMLevelResult) reconcile(vms []workload.VM, plan core.Plan, t int, sites []*cluster.Site, vmSite map[int]int) {
+func (r *VMLevelResult) reconcile(vms []workload.VM, plan core.Plan, t int, sites []*cluster.Site, vmSite map[int]int, reg *obs.Registry) {
 	numSites := len(sites)
 	cur := make([]float64, numSites)
 	bySite := make([][]workload.VM, numSites)
@@ -259,6 +280,8 @@ func (r *VMLevelResult) reconcile(vms []workload.VM, plan core.Plan, t int, site
 			gb := float64(vm.MemoryGB)
 			r.Transfer.Values[t] += gb
 			r.Moves++
+			reg.Emit(obs.Event{Type: obs.VMMoved, Step: t, App: vm.AppID, Site: src, Dst: dst,
+				VM: vm.ID, Cores: float64(vm.Cores), GB: gb, Detail: "reconcile"})
 		}
 	}
 }

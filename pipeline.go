@@ -37,7 +37,17 @@ type PipelineResult struct {
 // (steps 2-4) — and contrast with the first latency-feasible group picked
 // without looking at variability.
 func FullPipeline(seed uint64) (PipelineResult, error) {
+	return FullPipelineObs(seed, nil)
+}
+
+// FullPipelineObs is FullPipeline observed by a metrics registry: trace
+// generation, clique ranking, forecasting, MIP solves and both scheduler
+// runs report timings, counters and events into reg. A nil registry is
+// free.
+func FullPipelineObs(seed uint64, reg *MetricsRegistry) (PipelineResult, error) {
+	defer TimeSpan(reg, "pipeline.full")()
 	w := energy.NewWorld(seed)
+	w.Obs = reg
 	fleet := energy.EuropeanFleet(12)
 	days := 7
 	fine, err := w.Generate(fleet, table1Start, time.Hour, days*24)
@@ -56,10 +66,13 @@ func FullPipeline(seed uint64) (PipelineResult, error) {
 	for i := range fleet {
 		powers[i] = fine[i].Scale(fleet[i].CapacityMW)
 	}
+	rankSpan := TimeSpan(reg, "pipeline.rank_cliques")
 	ranked, err := g.CandidateGroups(3, 3, 50, powers)
+	rankSpan()
 	if err != nil {
 		return PipelineResult{}, err
 	}
+	reg.SetGauge("pipeline.candidate_groups", float64(len(ranked)))
 	if len(ranked) == 0 {
 		return PipelineResult{}, fmt.Errorf("vb: no 3-cliques under 25 ms")
 	}
@@ -74,6 +87,7 @@ func FullPipeline(seed uint64) (PipelineResult, error) {
 		series := make([]Series, len(nodes))
 		bundles := make([]*forecast.Bundle, len(nodes))
 		fc := forecast.New(seed)
+		fc.Obs = reg
 		for i, idx := range nodes {
 			a, err := fine[idx].WindowMin(Table1PlanStep)
 			if err != nil {
@@ -114,11 +128,13 @@ func FullPipeline(seed uint64) (PipelineResult, error) {
 			PlanStep:       Table1PlanStep,
 			UtilTarget:     0.7,
 			MaxSitesPerApp: 3,
+			Obs:            reg,
 		}, sim.Input{
 			Actual:     series,
 			Bundles:    bundles,
 			TotalCores: float64(DefaultClusterConfig().TotalCores()),
 			Apps:       demands,
+			Obs:        reg,
 		})
 		if err != nil {
 			return 0, 0, err

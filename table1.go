@@ -68,6 +68,10 @@ type Table1Setup struct {
 	LeadDependentForecasts bool
 	// Policies restricts which policies run (nil = all four).
 	Policies []Policy
+	// Obs, when non-nil, observes the run: trace generation, forecasting,
+	// scheduling and simulation all report into it. Nil disables
+	// observability at zero cost.
+	Obs *MetricsRegistry
 }
 
 func (s Table1Setup) withDefaults() Table1Setup {
@@ -111,6 +115,12 @@ func buildTable1Input(s Table1Setup, start time.Time) (sim.Input, []SiteConfig, 
 // arbitrary multi-VB group.
 func buildGroupInput(s Table1Setup, start time.Time, trio []SiteConfig) (sim.Input, []SiteConfig, error) {
 	w := energy.NewWorld(s.Seed)
+	w.Obs = s.Obs
+	if s.Obs != nil {
+		for _, c := range trio {
+			s.Obs.SetLabel("site."+c.Name, c.Source.String())
+		}
+	}
 
 	// Subgraph identification over the trio (they are mutually within the
 	// paper's 50 ms at European scale when relaxed; we use the trio
@@ -133,6 +143,7 @@ func buildGroupInput(s Table1Setup, start time.Time, trio []SiteConfig) (sim.Inp
 		return sim.Input{}, nil, err
 	}
 	fc := forecast.New(s.Seed)
+	fc.Obs = s.Obs
 	actual := make([]Series, len(trio))
 	bundles := make([]*forecast.Bundle, len(trio))
 	for i := range trio {
@@ -177,6 +188,7 @@ func buildGroupInput(s Table1Setup, start time.Time, trio []SiteConfig) (sim.Inp
 		Bundles:    bundles,
 		TotalCores: float64(DefaultClusterConfig().TotalCores()),
 		Apps:       demands,
+		Obs:        s.Obs,
 	}
 	return in, trio, nil
 }
@@ -201,7 +213,9 @@ func table1At(s Table1Setup, start time.Time) (Table1Result, error) {
 			UtilTarget:     s.UtilTarget,
 			MaxSitesPerApp: s.MaxSitesPerApp,
 			PeakWeight:     s.PeakWeight,
+			Obs:            s.Obs,
 		}
+		s.Obs.SetLabel("policy", pol.String())
 		r, err := sim.Run(cfg, in)
 		if err != nil {
 			return Table1Result{}, fmt.Errorf("vb: policy %v: %w", pol, err)
@@ -417,6 +431,7 @@ func AblationGroupSize(seed uint64) ([]AblationResult, error) {
 			PlanStep:       Table1PlanStep,
 			UtilTarget:     setup.UtilTarget,
 			MaxSitesPerApp: k,
+			Obs:            setup.Obs,
 		}
 		r, err := sim.Run(cfg, in)
 		if err != nil {

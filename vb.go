@@ -25,6 +25,7 @@ import (
 	"github.com/vbcloud/vb/internal/energy"
 	"github.com/vbcloud/vb/internal/forecast"
 	"github.com/vbcloud/vb/internal/graph"
+	"github.com/vbcloud/vb/internal/obs"
 	"github.com/vbcloud/vb/internal/plot"
 	"github.com/vbcloud/vb/internal/sim"
 	"github.com/vbcloud/vb/internal/stats"
@@ -127,6 +128,8 @@ type (
 	SchedulerConfig = core.Config
 	// AppDemand is the scheduler's view of an application.
 	AppDemand = core.AppDemand
+	// CapacityFn estimates a site's usable stable cores at a future step.
+	CapacityFn = core.CapacityFn
 	// Plan is an application's allocation schedule.
 	Plan = core.Plan
 	// Scheduler places applications across a multi-VB group.
@@ -154,6 +157,57 @@ type (
 	// CostModel captures the paper's §2.1 cost structure.
 	CostModel = econ.CostModel
 )
+
+// Observability (run-scoped metrics, event tracing, run manifests).
+type (
+	// MetricsRegistry accumulates counters, gauges and histograms for one
+	// run. A nil registry is a no-op everywhere it is accepted.
+	MetricsRegistry = obs.Registry
+	// Tracer records structured simulation events in a ring buffer with an
+	// optional JSONL sink.
+	Tracer = obs.Tracer
+	// TraceEvent is one structured simulation event.
+	TraceEvent = obs.Event
+	// TraceEventType names a kind of TraceEvent.
+	TraceEventType = obs.EventType
+	// TraceStats aggregates per-event-type counts and exact totals.
+	TraceStats = obs.TypeStats
+	// RunManifest is the JSON summary of one observed run.
+	RunManifest = obs.Manifest
+	// HistogramSnapshot is an immutable histogram state.
+	HistogramSnapshot = obs.HistogramSnapshot
+)
+
+// Trace event types emitted by the simulation pipeline.
+const (
+	EventPlanComputed    = obs.PlanComputed
+	EventPlannedRealloc  = obs.PlannedRealloc
+	EventForcedMigration = obs.ForcedMigration
+	EventStablePause     = obs.StablePause
+	EventShortfall       = obs.Shortfall
+	EventHorizonSwitch   = obs.HorizonSwitch
+	EventMIPSolveStart   = obs.MIPSolveStart
+	EventMIPSolveFinish  = obs.MIPSolveFinish
+	EventVMEvicted       = obs.VMEvicted
+	EventVMMoved         = obs.VMMoved
+	EventVMPlacementFail = obs.VMPlacementFail
+	EventSiteStep        = obs.SiteStep
+)
+
+// NewMetrics returns an empty run-scoped metrics registry with an attached
+// event tracer.
+func NewMetrics() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer returns a standalone event tracer with the given ring size
+// (0 = default).
+func NewTracer(ring int) *Tracer { return obs.NewTracer(ring) }
+
+// TimeSpan starts a timing span recording into reg's histogram of the given
+// name; call the returned func to stop. Nil registries cost nothing.
+func TimeSpan(reg *MetricsRegistry, name string) func() { return obs.Time(reg, name) }
+
+// ReadTraceEvents decodes a JSONL event stream written by a tracer sink.
+func ReadTraceEvents(r io.Reader) ([]TraceEvent, error) { return obs.ReadEvents(r) }
 
 // NewWorld returns an energy world with default correlation structure.
 func NewWorld(seed uint64) *World { return energy.NewWorld(seed) }

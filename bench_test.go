@@ -265,6 +265,35 @@ func BenchmarkWorldGeneration(b *testing.B) {
 	}
 }
 
+// BenchmarkWorldGenerationFleet generates the full 12-site fleet, the shape
+// the experiment suite actually uses. The per-site pass fans out over
+// par.Default workers (which tracks GOMAXPROCS), so running with -cpu 1,4
+// compares the serial and parallel paths on identical work:
+//
+//	go test -bench WorldGenerationFleet -cpu 1,4
+func BenchmarkWorldGenerationFleet(b *testing.B) {
+	w := NewWorld(DefaultSeed)
+	sites := EuropeanFleet(0)
+	start := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Generate(sites, start, 15*time.Minute, 30*96); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAllExperiments times the whole figure/table suite; with
+// -cpu 1,4 it shows the end-to-end speedup of the parallel pipeline.
+// It is expensive (~seconds per iteration) — use -benchtime=1x.
+func BenchmarkRunAllExperiments(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunAllExperiments(DefaultSeed, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Extension benchmarks: models beyond the paper's evaluation that quantify
 // arguments it makes qualitatively (see extensions.go).
 

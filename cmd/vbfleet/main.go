@@ -31,8 +31,10 @@ func main() {
 		days       = flag.Int("days", 14, "days of power used for ranking")
 		seed       = flag.Uint64("seed", vb.DefaultSeed, "random seed")
 		metricsOut = flag.String("metrics", "", "write a ranking manifest (metrics JSON) to this file")
+		parallel   = flag.Int("parallel", 0, "worker goroutines for trace generation and ranking (0 = all cores, 1 = serial; output is identical)")
 	)
 	flag.Parse()
+	vb.SetParallelism(*parallel)
 
 	var reg *vb.MetricsRegistry
 	if *metricsOut != "" {

@@ -8,6 +8,7 @@
 //	vbsim -days 90 -source solar -csv > transfers.csv
 //	vbsim -days 7 -trace run.jsonl -metrics run.json
 //	vbsim -days 365 -pprof localhost:6060
+//	vbsim -all -parallel 8   # regenerate every figure/table concurrently
 package main
 
 import (
@@ -34,8 +35,20 @@ func main() {
 		traceOut   = flag.String("trace", "", "write structured run events to this JSONL file")
 		metricsOut = flag.String("metrics", "", "write the run manifest (metrics JSON) to this file")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		parallel   = flag.Int("parallel", 0, "worker goroutines for generation and experiments (0 = all cores, 1 = serial; output is identical)")
+		runAll     = flag.Bool("all", false, "regenerate every figure and table of the evaluation and exit")
 	)
 	flag.Parse()
+	vb.SetParallelism(*parallel)
+
+	if *runAll {
+		res, err := vb.RunAllExperiments(*seed, *parallel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res.Report())
+		return
+	}
 
 	if *pprofAddr != "" {
 		go func() {

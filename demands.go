@@ -1,0 +1,28 @@
+package vb
+
+import (
+	"github.com/vbcloud/vb/internal/core"
+	"github.com/vbcloud/vb/internal/workload"
+)
+
+// appDemands converts generated applications into scheduler demands. Every
+// app is validated first: an app with zero total cores would turn the
+// MemGBPerCore division into NaN and silently poison the MIP demand vector,
+// so it is rejected here (and again by sim.Input.Validate, which refuses
+// non-finite demand fields).
+func appDemands(apps []workload.App) ([]core.AppDemand, error) {
+	demands := make([]core.AppDemand, 0, len(apps))
+	for _, a := range apps {
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+		demands = append(demands, core.AppDemand{
+			ID:           a.ID,
+			Cores:        float64(a.TotalCores()),
+			StableCores:  float64(a.StableCores()),
+			MemGBPerCore: float64(a.TotalMemoryGB()) / float64(a.TotalCores()),
+			Start:        a.Arrival,
+		})
+	}
+	return demands, nil
+}

@@ -1,6 +1,7 @@
 package vb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"github.com/vbcloud/vb/internal/cluster"
 	"github.com/vbcloud/vb/internal/energy"
 	"github.com/vbcloud/vb/internal/forecast"
+	"github.com/vbcloud/vb/internal/par"
 	"github.com/vbcloud/vb/internal/stats"
 	"github.com/vbcloud/vb/internal/trace"
 	"github.com/vbcloud/vb/internal/wan"
@@ -48,12 +50,29 @@ func Fig2aPowerVariation(seed uint64) (Fig2aResult, error) {
 		return Fig2aResult{}, err
 	}
 	solarYear, windYear := year[0], year[1]
+	bestDay := bestSpreadWindow(solarYear, 365, 4, 96)
+	res := Fig2aResult{
+		Solar: solarYear.Slice(bestDay*96, (bestDay+4)*96),
+		Wind:  windYear.Slice(bestDay*96, (bestDay+4)*96),
+	}
+	for k := 0; k < 4; k++ {
+		res.SolarDailyPeaks = append(res.SolarDailyPeaks, res.Solar.Slice(k*96, (k+1)*96).Max())
+	}
+	res.MinWind, res.MaxWind = res.Wind.Min(), res.Wind.Max()
+	return res, nil
+}
+
+// bestSpreadWindow scans every win-day window of a days-day series sampled
+// spd times per day and returns the start day of the window maximizing the
+// spread (max - min) of daily maxima. The loop bound d+win <= days admits
+// the final window (start day days-win); an earlier version compared
+// against days-1 and silently never considered it.
+func bestSpreadWindow(s Series, days, win, spd int) int {
 	bestDay, bestSpread := 0, -1.0
-	for d := 0; d+4 <= 364; d++ {
+	for d := 0; d+win <= days; d++ {
 		lo, hi := 2.0, -1.0
-		for k := 0; k < 4; k++ {
-			day := solarYear.Slice((d+k)*96, (d+k+1)*96)
-			p := day.Max()
+		for k := 0; k < win; k++ {
+			p := s.Slice((d+k)*spd, (d+k+1)*spd).Max()
 			if p < lo {
 				lo = p
 			}
@@ -65,15 +84,7 @@ func Fig2aPowerVariation(seed uint64) (Fig2aResult, error) {
 			bestSpread, bestDay = spread, d
 		}
 	}
-	res := Fig2aResult{
-		Solar: solarYear.Slice(bestDay*96, (bestDay+4)*96),
-		Wind:  windYear.Slice(bestDay*96, (bestDay+4)*96),
-	}
-	for k := 0; k < 4; k++ {
-		res.SolarDailyPeaks = append(res.SolarDailyPeaks, res.Solar.Slice(k*96, (k+1)*96).Max())
-	}
-	res.MinWind, res.MaxWind = res.Wind.Min(), res.Wind.Max()
-	return res, nil
+	return bestDay
 }
 
 // Report renders the figure as text.
@@ -235,8 +246,27 @@ type PairImprovementResult struct {
 	FractionImproved float64
 }
 
+// covPairIntervals and covPairWindowDays parameterize the §2.3 sweep: 24
+// three-day intervals spread over one 365-day year.
+const (
+	covPairIntervals  = 24
+	covPairWindowDays = 3
+)
+
+// covPairStartDay returns the start day of sweep interval m. The starts are
+// spread evenly so interval 0 begins on day 0 and the final 72 h window ends
+// exactly on day 365; the original fixed 15-day spacing stopped at day 348
+// and never sampled the last ~16 days of the year.
+func covPairStartDay(m int) int {
+	span := 365 - covPairWindowDays
+	return (m*span + (covPairIntervals-1)/2) / (covPairIntervals - 1)
+}
+
 // CovPairImprovement regenerates the §2.3 claim over the 12-site fleet and
-// 24 three-day intervals across a year.
+// 24 three-day intervals across a year. The intervals are generated
+// concurrently (each is an independent World.Generate call over its own
+// name-keyed RNG streams); the per-pair merge runs in interval order, so
+// the result is identical to the serial sweep.
 func CovPairImprovement(seed uint64) (PairImprovementResult, error) {
 	w := energy.NewWorld(seed)
 	fleet := energy.EuropeanFleet(12)
@@ -244,17 +274,20 @@ func CovPairImprovement(seed uint64) (PairImprovementResult, error) {
 	for i := range fleet {
 		names[i] = fleet[i].Name
 	}
+	perInterval, err := par.Map(context.Background(), covPairIntervals, 0,
+		func(m int) ([]energy.PairImprovement, error) {
+			st := experimentStart.AddDate(0, 0, covPairStartDay(m))
+			fp, err := w.GeneratePower(fleet, st, time.Hour, covPairWindowDays*24)
+			if err != nil {
+				return nil, err
+			}
+			return energy.AllPairs(names, fp)
+		})
+	if err != nil {
+		return PairImprovementResult{}, err
+	}
 	best := map[string]float64{}
-	for m := 0; m < 24; m++ {
-		st := experimentStart.AddDate(0, 0, m*15)
-		fp, err := w.GeneratePower(fleet, st, time.Hour, 72)
-		if err != nil {
-			return PairImprovementResult{}, err
-		}
-		pairs, err := energy.AllPairs(names, fp)
-		if err != nil {
-			return PairImprovementResult{}, err
-		}
+	for _, pairs := range perInterval {
 		for _, p := range pairs {
 			k := p.A + "/" + p.B
 			if v := p.Improvement(); v > best[k] {
@@ -392,20 +425,28 @@ func Fig5ForecastAccuracy(seed uint64) (Fig5Result, error) {
 	if err != nil {
 		return Fig5Result{}, err
 	}
+	// The per-(source, horizon) grid runs concurrently: Forecast derives a
+	// fresh RNG stream from (seed, site, source, horizon) on every call, so
+	// each cell is independent and the assembled table is deterministic.
 	fc := forecast.New(seed)
+	horizons := []time.Duration{Horizon3H, HorizonDay, HorizonWeek}
+	cells, err := par.Map(context.Background(), len(sites)*len(horizons), 0,
+		func(c int) (float64, error) {
+			i, h := c/len(horizons), horizons[c%len(horizons)]
+			f, err := fc.Forecast(series[i], sites[i].Source, h, sites[i].Name)
+			if err != nil {
+				return 0, err
+			}
+			return forecast.Accuracy(f, series[i], 0.02)
+		})
+	if err != nil {
+		return Fig5Result{}, err
+	}
 	out := Fig5Result{MAPE: map[Source]map[time.Duration]float64{}}
 	for i, site := range sites {
 		out.MAPE[site.Source] = map[time.Duration]float64{}
-		for _, h := range []time.Duration{Horizon3H, HorizonDay, HorizonWeek} {
-			f, err := fc.Forecast(series[i], site.Source, h, site.Name)
-			if err != nil {
-				return Fig5Result{}, err
-			}
-			m, err := forecast.Accuracy(f, series[i], 0.02)
-			if err != nil {
-				return Fig5Result{}, err
-			}
-			out.MAPE[site.Source][h] = m
+		for j, h := range horizons {
+			out.MAPE[site.Source][h] = cells[i*len(horizons)+j]
 		}
 	}
 	return out, nil

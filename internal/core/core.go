@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"github.com/vbcloud/vb/internal/obs"
@@ -152,8 +153,19 @@ type AppDemand struct {
 	End   time.Time
 }
 
-// Validate reports demand errors.
+// Validate reports demand errors. Non-finite fields are rejected explicitly:
+// a NaN (e.g. from a zero-core app's memory-per-core division) compares
+// false against every threshold, so the range checks alone would let it
+// through into the MIP demand vector.
 func (a AppDemand) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"cores", a.Cores}, {"stable cores", a.StableCores}, {"memory per core", a.MemGBPerCore}} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("core: app %d has non-finite %s (%v)", a.ID, f.name, f.v)
+		}
+	}
 	if a.Cores <= 0 {
 		return fmt.Errorf("core: app %d has no cores", a.ID)
 	}

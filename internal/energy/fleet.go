@@ -200,14 +200,29 @@ func BestWindow(powers []trace.Series, window time.Duration) (int, float64, erro
 	if hop == 0 {
 		hop = 1
 	}
-	for i := 0; i+k <= sum.Len(); i += hop {
+	consider := func(i int) error {
 		w := sum.Slice(i, i+k)
 		split, err := StableVariableSplit(w, window)
 		if err != nil {
-			return 0, 0, err
+			return err
 		}
 		if f := split.StableFraction(); f > bestFrac {
 			bestFrac, bestIdx = f, i
+		}
+		return nil
+	}
+	last := sum.Len() - k
+	for i := 0; i <= last; i += hop {
+		if err := consider(i); err != nil {
+			return 0, 0, err
+		}
+	}
+	// When the series length is not hop-aligned the stride stops short of
+	// the final valid start; evaluate it explicitly so the trailing samples
+	// are never excluded from the search.
+	if last%hop != 0 {
+		if err := consider(last); err != nil {
+			return 0, 0, err
 		}
 	}
 	return bestIdx, bestFrac, nil

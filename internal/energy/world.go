@@ -1,6 +1,7 @@
 package energy
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"github.com/vbcloud/vb/internal/obs"
+	"github.com/vbcloud/vb/internal/par"
 	"github.com/vbcloud/vb/internal/trace"
 )
 
@@ -30,6 +32,11 @@ type World struct {
 	// Obs, when non-nil, receives trace-generation timings and sample
 	// counters. A nil registry is a no-op.
 	Obs *obs.Registry
+	// Workers bounds the goroutines generating per-site series. Zero
+	// selects the package default (par.Default, normally GOMAXPROCS); one
+	// forces the serial path. Output is bit-identical for every setting:
+	// each site draws only from its own name-keyed sub-RNG.
+	Workers int
 }
 
 // NewWorld returns a World with default correlation structure.
@@ -159,19 +166,29 @@ func (w *World) Generate(cfgs []SiteConfig, start time.Time, step time.Duration,
 	}
 	nDays := (n+spd-1)/spd + 1
 
+	// Anchor latents fan out first: each anchor draws from its own
+	// name-keyed sub-RNG, so worker count cannot change the samples.
 	anchors := anchorGrid(cfgs)
 	anchorData := make([]anchorSeries, len(anchors))
-	for i := range anchors {
+	err = par.ForEach(context.Background(), len(anchors), w.Workers, func(i int) error {
 		rng := w.subRNG(fmt.Sprintf("anchor/%d", i))
 		anchorData[i] = anchorSeries{
 			cloudDaily: genOU(2.2, nDays, rng),          // ~2-day weather systems
 			cloudFast:  genOU(float64(spd)/4, n, rng),   // ~6 h intra-day cloud field
 			windSyn:    genOU(2.5*float64(spd), n, rng), // ~2.5-day synoptic wind
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
+	// The per-site pass fans out: each site reads only the shared anchor
+	// latents and its own name-keyed sub-RNG, so any worker count produces
+	// bit-identical series (asserted by TestGenerateParallelDeterminism).
 	out := make([]trace.Series, len(cfgs))
-	for si, cfg := range cfgs {
+	err = par.ForEach(context.Background(), len(cfgs), w.Workers, func(si int) error {
+		cfg := cfgs[si]
 		weights := w.anchorWeights(cfg, anchors)
 		local := math.Sqrt(1 - w.regionalShare()*w.regionalShare())
 		rng := w.subRNG("site/" + cfg.Name)
@@ -188,6 +205,10 @@ func (w *World) Generate(cfgs []SiteConfig, start time.Time, step time.Duration,
 			meso := genOU(float64(spd)/6, n, rng) // ~4 h local gust structure
 			out[si] = genWind(cfg, start, step, n, syn, meso)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,168 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		out, err := Map(context.Background(), 100, workers, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []string {
+		out, err := Map(context.Background(), 50, workers, func(i int) (string, error) {
+			return fmt.Sprintf("task-%d", i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	for _, w := range []int{2, 4, 16} {
+		got := run(w)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: result %d differs: %q vs %q", w, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestForEachFirstError(t *testing.T) {
+	errBoom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := ForEach(context.Background(), 1000, workers, func(i int) error {
+			ran.Add(1)
+			if i == 3 {
+				return errBoom
+			}
+			return nil
+		})
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+		if n := ran.Load(); n == 1000 {
+			t.Errorf("workers=%d: all %d tasks ran despite early error", workers, n)
+		}
+	}
+}
+
+func TestForEachLowestIndexedErrorWins(t *testing.T) {
+	// Both tasks fail; the lower index's error must be reported regardless
+	// of which finishes first.
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for trial := 0; trial < 20; trial++ {
+		err := ForEach(context.Background(), 2, 2, func(i int) error {
+			if i == 0 {
+				time.Sleep(time.Millisecond)
+				return errLow
+			}
+			return errHigh
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("trial %d: err = %v, want low", trial, err)
+		}
+	}
+}
+
+func TestForEachContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEach(ctx, 100, 4, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n > 8 {
+		t.Errorf("%d tasks ran after cancellation (worker-count-ish expected)", n)
+	}
+}
+
+func TestForEachWorkerCap(t *testing.T) {
+	var cur, peak atomic.Int64
+	err := ForEach(context.Background(), 64, 3, func(i int) error {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Errorf("peak concurrency %d exceeds cap 3", p)
+	}
+}
+
+func TestMapErrorDiscardsResults(t *testing.T) {
+	out, err := Map(context.Background(), 10, 2, func(i int) (int, error) {
+		if i == 5 {
+			return 0, errors.New("mid")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if out != nil {
+		t.Errorf("partial results returned on error: %v", out)
+	}
+}
+
+func TestZeroAndNegativeN(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, func(int) error { return errors.New("no") }); err != nil {
+		t.Errorf("n=0: %v", err)
+	}
+	out, err := Map(context.Background(), -3, 4, func(int) (int, error) { return 0, errors.New("no") })
+	if err != nil || out != nil {
+		t.Errorf("n=-3: %v %v", out, err)
+	}
+}
+
+func TestSetDefault(t *testing.T) {
+	defer SetDefault(0)
+	SetDefault(5)
+	if Default() != 5 {
+		t.Errorf("Default() = %d, want 5", Default())
+	}
+	SetDefault(0)
+	if Default() != runtime.GOMAXPROCS(0) {
+		t.Errorf("Default() = %d, want GOMAXPROCS %d", Default(), runtime.GOMAXPROCS(0))
+	}
+	SetDefault(-1)
+	if Default() != runtime.GOMAXPROCS(0) {
+		t.Errorf("negative SetDefault should restore GOMAXPROCS")
+	}
+}

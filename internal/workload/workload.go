@@ -226,6 +226,24 @@ type App struct {
 	VMs []VM
 }
 
+// Validate reports application errors. A zero-core app is rejected: it has
+// nothing to schedule, and downstream per-core divisions (e.g. memory per
+// core) would produce NaN.
+func (a App) Validate() error {
+	if len(a.VMs) == 0 {
+		return fmt.Errorf("workload: app %d has no VMs", a.ID)
+	}
+	if a.TotalCores() <= 0 {
+		return fmt.Errorf("workload: app %d requests zero cores", a.ID)
+	}
+	for _, v := range a.VMs {
+		if v.Cores <= 0 {
+			return fmt.Errorf("workload: app %d VM %d has non-positive cores %d", a.ID, v.ID, v.Cores)
+		}
+	}
+	return nil
+}
+
 // TotalCores returns the cores requested across all VMs.
 func (a App) TotalCores() int {
 	n := 0

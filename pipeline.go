@@ -1,6 +1,7 @@
 package vb
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"github.com/vbcloud/vb/internal/energy"
 	"github.com/vbcloud/vb/internal/forecast"
 	"github.com/vbcloud/vb/internal/graph"
+	"github.com/vbcloud/vb/internal/par"
 	"github.com/vbcloud/vb/internal/sim"
 	"github.com/vbcloud/vb/internal/workload"
 )
@@ -113,15 +115,9 @@ func FullPipelineObs(seed uint64, reg *MetricsRegistry) (PipelineResult, error) 
 		if err != nil {
 			return 0, 0, err
 		}
-		demands := make([]core.AppDemand, 0, len(apps))
-		for _, a := range apps {
-			demands = append(demands, core.AppDemand{
-				ID:           a.ID,
-				Cores:        float64(a.TotalCores()),
-				StableCores:  float64(a.StableCores()),
-				MemGBPerCore: float64(a.TotalMemoryGB()) / float64(a.TotalCores()),
-				Start:        a.Arrival,
-			})
+		demands, err := appDemands(apps)
+		if err != nil {
+			return 0, 0, err
 		}
 		res, err := sim.Run(core.Config{
 			Policy:         core.MIP,
@@ -146,21 +142,26 @@ func FullPipelineObs(seed uint64, reg *MetricsRegistry) (PipelineResult, error) 
 		return total, res.PausedStableCoreSteps, nil
 	}
 
-	chosenTotal, chosenPaused, err := run(best.Nodes)
-	if err != nil {
-		return PipelineResult{}, err
-	}
-	naiveTotal, naivePaused, err := run(naive)
+	// The two scheduler runs are independent (separate forecast bundles,
+	// workloads and engine state; the shared registry is concurrency-safe),
+	// so they execute concurrently with identical results to back-to-back
+	// serial runs.
+	type runOut struct{ totalGB, paused float64 }
+	groups := [][]int{best.Nodes, naive}
+	runs, err := par.Map(context.Background(), len(groups), 0, func(i int) (runOut, error) {
+		total, paused, err := run(groups[i])
+		return runOut{total, paused}, err
+	})
 	if err != nil {
 		return PipelineResult{}, err
 	}
 
 	out := PipelineResult{
 		ChosenCoV:     best.CoV,
-		ChosenTotalGB: chosenTotal,
-		NaiveTotalGB:  naiveTotal,
-		ChosenPaused:  chosenPaused,
-		NaivePaused:   naivePaused,
+		ChosenTotalGB: runs[0].totalGB,
+		NaiveTotalGB:  runs[1].totalGB,
+		ChosenPaused:  runs[0].paused,
+		NaivePaused:   runs[1].paused,
 	}
 	for _, idx := range best.Nodes {
 		out.Chosen = append(out.Chosen, fleet[idx])

@@ -173,15 +173,9 @@ func buildGroupInput(s Table1Setup, start time.Time, trio []SiteConfig) (sim.Inp
 	if err != nil {
 		return sim.Input{}, nil, err
 	}
-	demands := make([]core.AppDemand, 0, len(apps))
-	for _, a := range apps {
-		demands = append(demands, core.AppDemand{
-			ID:           a.ID,
-			Cores:        float64(a.TotalCores()),
-			StableCores:  float64(a.StableCores()),
-			MemGBPerCore: float64(a.TotalMemoryGB()) / float64(a.TotalCores()),
-			Start:        a.Arrival,
-		})
+	demands, err := appDemands(apps)
+	if err != nil {
+		return sim.Input{}, nil, err
 	}
 	in := sim.Input{
 		Actual:     actual,

@@ -251,6 +251,43 @@ func BenchmarkMIPSolve(b *testing.B) {
 	}
 }
 
+// BenchmarkMIPSolveCold is BenchmarkMIPSolve with the cross-solve warm cache
+// defeated: every iteration presents a fresh app ID, so each placement pays
+// the full instance build plus a from-scratch solve. The gap between this and
+// BenchmarkMIPSolve is what basis carry-over buys the scheduler.
+func BenchmarkMIPSolveCold(b *testing.B) {
+	const numSites, steps = 3, 28
+	reg := NewMetrics()
+	sched, err := NewScheduler(SchedulerConfig{
+		Policy:         PolicyMIP,
+		PlanStep:       Table1PlanStep,
+		UtilTarget:     0.7,
+		MaxSitesPerApp: numSites,
+		Obs:            reg,
+	}, numSites, steps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+	var capAt CapacityFn = func(site, step int) float64 {
+		return 12000 + 3000*math.Sin(float64(step+site*7)/3)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		demand := AppDemand{ID: i + 1, Cores: 4000, StableCores: 2800, MemGBPerCore: 4, Start: start}
+		plan, err := sched.Place(demand, 0, steps, capAt, capAt, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sched.Uncommit(plan, 0)
+	}
+	b.StopTimer()
+	if h, ok := reg.Histogram("mip.solve"); ok && h.Count > 0 {
+		b.ReportMetric(h.Sum/float64(h.Count)*1e9, "ns/solve")
+		b.ReportMetric(reg.Counter("mip.nodes")/float64(h.Count), "nodes/solve")
+	}
+}
+
 // BenchmarkWorldGeneration measures the raw trace-generation throughput
 // (samples per second across a 3-site fleet).
 func BenchmarkWorldGeneration(b *testing.B) {

@@ -83,6 +83,11 @@ type Config struct {
 	UtilTarget float64
 	// MIPNodes caps branch-and-bound nodes per placement (0 = 2000).
 	MIPNodes int
+	// SolverReference routes placements through the legacy solver stack
+	// (row-branching branch and bound over the dense Bland simplex) instead
+	// of the warm-started revised simplex. It exists for differential
+	// testing; production runs should leave it false.
+	SolverReference bool
 	// Obs, when non-nil, receives scheduler metrics and trace events
 	// (solve timings, objective values, placement counters). A nil
 	// registry is a no-op and costs nothing on the hot path.

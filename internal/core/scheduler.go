@@ -23,7 +23,24 @@ type Scheduler struct {
 	// scheduled fleet-wide at step t; the peak objective coordinates
 	// across apps through it.
 	migCommitted []float64
+	// warm caches per-app solver state so a replan warm-starts from the
+	// previous interval's optimal basis (the app's demand coefficients are
+	// constant, so successive replans are structurally identical LPs).
+	warm     map[int]*warmEntry
+	warmTick int64
 }
+
+// warmEntry pairs an app's carried solver state with a last-use tick for
+// deterministic least-recently-used eviction.
+type warmEntry struct {
+	ws   *mip.WarmState
+	tick int64
+}
+
+// warmCap bounds the warm-state cache; each entry holds an m×m basis
+// inverse, so the cache is worth bounding on long multi-app runs. Eviction
+// is by smallest tick, which is deterministic (ticks are unique).
+const warmCap = 32
 
 // NewScheduler creates a scheduler for a group of numSites sites and a
 // global timeline of steps plan steps.
@@ -200,6 +217,10 @@ func (s *Scheduler) placeMIP(app AppDemand, nowStep, endStep int, predCap, stabl
 	if prevPlan != nil {
 		nD = k * H
 	}
+	nE := 0
+	if s.cfg.peakWeight() > 0 {
+		nE = H
+	}
 	aVar := func(site, tau int) int { return site*H + tau }
 	mVar := func(site, tau int) int { return nA + site*H + tau }
 	oVar := func(site, tau int) int { return nA + nM + site*H + tau }
@@ -207,7 +228,8 @@ func (s *Scheduler) placeMIP(app AppDemand, nowStep, endStep int, predCap, stabl
 	dVar := func(site, tau int) int { return nA + nM + nO + nU + site*H + tau }
 	yVar := func(site int) int { return nA + nM + nO + nU + nD + site }
 	pVar := nA + nM + nO + nU + nD + k
-	numVars := pVar + 1
+	eVar := func(tau int) int { return pVar + 1 + tau }
+	numVars := pVar + 1 + nE
 
 	obj := make([]float64, numVars)
 	memGB := app.MemGBPerCore
@@ -243,6 +265,21 @@ func (s *Scheduler) placeMIP(app AppDemand, nowStep, endStep int, predCap, stabl
 	}
 	// O2: peak traffic (P is in GB).
 	obj[pVar] = s.cfg.peakWeight()
+	// O2 smoothing: e[tau] >= (step traffic) - (horizon mean traffic)
+	// carries a small per-GB cost, so among plans with equal total cost and
+	// equal peak the optimum spreads moves over time instead of bunching
+	// them — the paper's "spreading out migrations over time and reducing
+	// burstiness" is an explicit preference, not an accident of which
+	// alternate optimal vertex the simplex happens to return. The weight
+	// must beat the delayDiscount slope (≈ memGB·0.5/H per step) over
+	// horizon-scale distances so spreading a move across the window is
+	// worth it, yet stay below a real move's cost (1 per GB): adding a
+	// move raises the horizon mean by Δ/H and can recoup at most ~Δ/2 of
+	// excess, so smoothing can never justify extra migration volume.
+	const smoothWeight = 0.2
+	for tau := 0; tau < nE; tau++ {
+		obj[eVar(tau)] = smoothWeight
+	}
 	// Plan-stability penalty: deviating from the previous plan costs a
 	// fraction of a real move, so re-plans only restructure when the
 	// predicted savings are material.
@@ -262,6 +299,13 @@ func (s *Scheduler) placeMIP(app AppDemand, nowStep, endStep int, predCap, stabl
 			coeffs[j] = v
 		}
 		cons = append(cons, lp.Constraint{Coeffs: coeffs, Sense: sense, RHS: rhs})
+	}
+	// Singleton rows (hard capacity, binary bounds) become native variable
+	// bounds: the LP shrinks and branching on y tightens a bound in place.
+	// Lower bounds stay at the default zero.
+	upper := make([]float64, numVars)
+	for j := range upper {
+		upper[j] = math.Inf(1)
 	}
 
 	demand := app.StableCores
@@ -294,7 +338,7 @@ func (s *Scheduler) placeMIP(app AppDemand, nowStep, endStep int, predCap, stabl
 			}
 			if tau < hardSteps {
 				// Hard capacity at the plain forecast.
-				row(map[int]float64{aVar(site, tau): 1}, lp.LE, free)
+				upper[aVar(site, tau)] = free
 			}
 			// Soft preference: a - o <= stable level.
 			row(map[int]float64{aVar(site, tau): 1, oVar(site, tau): -1}, lp.LE, freeStable)
@@ -312,7 +356,7 @@ func (s *Scheduler) placeMIP(app AppDemand, nowStep, endStep int, predCap, stabl
 			}
 		}
 		// Binary bound.
-		row(map[int]float64{yVar(site): 1}, lp.LE, 1)
+		upper[yVar(site)] = 1
 		// Deviation from the previous plan: d >= |a - prevPlan|.
 		if prevPlan != nil {
 			for tau := 0; tau < H; tau++ {
@@ -334,12 +378,30 @@ func (s *Scheduler) placeMIP(app AppDemand, nowStep, endStep int, predCap, stabl
 	// migrates VMs preemptively, spreading out migrations over time and
 	// reducing burstiness").
 	if s.cfg.peakWeight() > 0 {
+		meanCommitted := 0.0
+		for tau := 0; tau < H; tau++ {
+			meanCommitted += s.migCommitted[nowStep+tau]
+		}
+		meanCommitted /= float64(H)
 		for tau := 0; tau < H; tau++ {
 			pp := map[int]float64{pVar: -1}
 			for site := 0; site < k; site++ {
 				pp[mVar(site, tau)] = memGB
 			}
 			row(pp, lp.LE, -s.migCommitted[nowStep+tau])
+			// Smoothing excess: step traffic minus the horizon-mean traffic
+			// (both including the fleet-wide committed ledger) must fit
+			// under e[tau]:
+			//   sum_s mem*m[s,tau] - (1/H) sum_{s,t'} mem*m[s,t'] - e[tau]
+			//     <= mean(committed) - committed[tau].
+			sm := map[int]float64{eVar(tau): -1}
+			for site := 0; site < k; site++ {
+				for t2 := 0; t2 < H; t2++ {
+					sm[mVar(site, t2)] = -memGB / float64(H)
+				}
+				sm[mVar(site, tau)] += memGB
+			}
+			row(sm, lp.LE, meanCommitted-s.migCommitted[nowStep+tau])
 		}
 	}
 
@@ -354,14 +416,23 @@ func (s *Scheduler) placeMIP(app AppDemand, nowStep, endStep int, predCap, stabl
 		solveStart = time.Now()
 		reg.Emit(obs.Event{Type: obs.MIPSolveStart, Step: nowStep, App: app.ID, Site: -1, Dst: -1, Cores: demand})
 	}
+	ws := s.warmState(app.ID)
 	sol, err := mip.Solve(mip.Problem{
-		Problem: lp.Problem{NumVars: numVars, Objective: obj, Constraints: cons},
+		Problem: lp.Problem{NumVars: numVars, Objective: obj, Constraints: cons, Upper: upper},
 		Integer: integer,
-	}, mip.Options{MaxNodes: s.cfg.mipNodes(), Gap: 0.01})
+	}, mip.Options{MaxNodes: s.cfg.mipNodes(), Warm: ws, Reference: s.cfg.SolverReference})
 	if reg != nil {
 		d := time.Since(solveStart)
 		reg.ObserveDuration("mip.solve", d)
 		reg.Add("mip.nodes", float64(sol.Nodes))
+		reg.Add("lp.pivots", float64(sol.Pivots))
+		if ws != nil {
+			if sol.WarmHit {
+				reg.Inc("mip.warmstart.hits")
+			} else {
+				reg.Inc("mip.warmstart.misses")
+			}
+		}
 		if err == nil && sol.Status == lp.Optimal {
 			reg.Emit(obs.Event{Type: obs.MIPSolveFinish, Step: nowStep, App: app.ID, Site: -1, Dst: -1,
 				Cores: demand, DurNS: d.Nanoseconds(), Objective: sol.Objective})
@@ -388,6 +459,35 @@ func (s *Scheduler) placeMIP(app AppDemand, nowStep, endStep int, predCap, stabl
 		}
 	}
 	return plan, nil
+}
+
+// warmState returns (creating if needed) the app's carried solver state,
+// or nil when the legacy reference stack is selected. The cache is bounded
+// by warmCap with deterministic least-recently-used eviction.
+func (s *Scheduler) warmState(appID int) *mip.WarmState {
+	if s.cfg.SolverReference {
+		return nil
+	}
+	if s.warm == nil {
+		s.warm = make(map[int]*warmEntry)
+	}
+	e := s.warm[appID]
+	if e == nil {
+		if len(s.warm) >= warmCap {
+			victim, oldest := 0, int64(math.MaxInt64)
+			for id, we := range s.warm {
+				if we.tick < oldest {
+					victim, oldest = id, we.tick
+				}
+			}
+			delete(s.warm, victim)
+		}
+		e = &warmEntry{ws: &mip.WarmState{}}
+		s.warm[appID] = e
+	}
+	s.warmTick++
+	e.tick = s.warmTick
+	return e.ws
 }
 
 func newPlan(appID, numSites, steps int) Plan {

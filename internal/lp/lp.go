@@ -1,12 +1,14 @@
-// Package lp implements a dense two-phase primal simplex solver for linear
-// programs. It is the optimization substrate under internal/mip and, through
-// it, the paper's MIP scheduling policies (§3.1) — Go has no native
-// optimization stack, so we build one.
+// Package lp implements linear-program solvers for the scheduling stack.
+// It is the optimization substrate under internal/mip and, through it, the
+// paper's MIP scheduling policies (§3.1) — Go has no native optimization
+// stack, so we build one.
 //
-// Problems are stated over variables x >= 0 with linear constraints of any
-// sense. The solver uses Bland's rule, so it terminates on all inputs
-// (no cycling), at the cost of some speed — fine for the scheduler's
-// problem sizes (tens to a few hundred variables).
+// Problems are stated over bounded variables (default x >= 0) with linear
+// constraints of any sense. Solve uses the bounded revised simplex in
+// revised.go (Dantzig pricing with a Bland anti-cycling fallback, warm-
+// startable via Instance); SolveReference in reference.go keeps the original
+// dense two-phase Bland tableau as an independent oracle for differential
+// tests.
 package lp
 
 import (
@@ -45,7 +47,7 @@ type Constraint struct {
 	RHS    float64
 }
 
-// Problem is a linear program over n nonnegative variables.
+// Problem is a linear program over n bounded variables.
 type Problem struct {
 	// NumVars is the variable count n.
 	NumVars int
@@ -55,6 +57,29 @@ type Problem struct {
 	Maximize bool
 	// Constraints are the rows.
 	Constraints []Constraint
+	// Lower and Upper are optional per-variable bounds (len <= n). Missing
+	// entries default to [0, +inf): a nil Lower/Upper pair is the classic
+	// nonnegative-variable program. Use math.Inf(-1)/math.Inf(1) for
+	// unbounded sides. A variable with Lower > Upper makes the problem
+	// infeasible (not malformed).
+	Lower []float64
+	Upper []float64
+}
+
+// LowerOf returns variable j's lower bound (default 0).
+func (p Problem) LowerOf(j int) float64 {
+	if j < len(p.Lower) {
+		return p.Lower[j]
+	}
+	return 0
+}
+
+// UpperOf returns variable j's upper bound (default +inf).
+func (p Problem) UpperOf(j int) float64 {
+	if j < len(p.Upper) {
+		return p.Upper[j]
+	}
+	return math.Inf(1)
 }
 
 // Status reports how solving ended.
@@ -87,6 +112,8 @@ type Solution struct {
 	X []float64
 	// Objective is the optimal objective value in the problem's own sense.
 	Objective float64
+	// Pivots is the number of simplex pivots the solve performed.
+	Pivots int64
 }
 
 // ErrBadProblem reports a malformed problem.
@@ -101,6 +128,22 @@ func (p Problem) Validate() error {
 	}
 	if len(p.Objective) > p.NumVars {
 		return fmt.Errorf("%w: objective has %d coeffs for %d vars", ErrBadProblem, len(p.Objective), p.NumVars)
+	}
+	if len(p.Lower) > p.NumVars {
+		return fmt.Errorf("%w: %d lower bounds for %d vars", ErrBadProblem, len(p.Lower), p.NumVars)
+	}
+	if len(p.Upper) > p.NumVars {
+		return fmt.Errorf("%w: %d upper bounds for %d vars", ErrBadProblem, len(p.Upper), p.NumVars)
+	}
+	for j, v := range p.Lower {
+		if math.IsNaN(v) || math.IsInf(v, 1) {
+			return fmt.Errorf("%w: variable %d lower bound %v", ErrBadProblem, j, v)
+		}
+	}
+	for j, v := range p.Upper {
+		if math.IsNaN(v) || math.IsInf(v, -1) {
+			return fmt.Errorf("%w: variable %d upper bound %v", ErrBadProblem, j, v)
+		}
 	}
 	for i, c := range p.Constraints {
 		if len(c.Coeffs) > p.NumVars {
@@ -126,271 +169,25 @@ func (p Problem) Validate() error {
 	return nil
 }
 
-// tableau is the dense simplex tableau: rows of coefficients over structural
-// + slack + artificial columns, an RHS column, and a basis map.
-type tableau struct {
-	m, n    int // constraint rows, total columns (excluding RHS)
-	nStruct int // structural variable count
-	nArt    int // artificial variable count (last nArt columns)
-	a       [][]float64
-	rhs     []float64
-	basis   []int // basis[i] = column basic in row i
-}
-
-// Solve solves the linear program.
+// Solve solves the linear program with the bounded revised simplex.
 func Solve(p Problem) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}
-	t := build(p)
-
-	// Phase 1: drive artificials to zero.
-	if t.nArt > 0 {
-		obj := make([]float64, t.n)
-		for j := t.n - t.nArt; j < t.n; j++ {
-			obj[j] = 1
-		}
-		val, err := t.run(obj)
-		if err != nil {
-			return Solution{}, err
-		}
-		if val > 1e-7 {
-			return Solution{Status: Infeasible}, nil
-		}
-		t.evictArtificials()
-	}
-
-	// Phase 2: original objective (as minimization).
-	obj := make([]float64, t.n)
-	for j, c := range p.Objective {
-		if p.Maximize {
-			obj[j] = -c
-		} else {
-			obj[j] = c
-		}
-	}
-	// Forbid artificials from re-entering.
-	for j := t.n - t.nArt; j < t.n; j++ {
-		obj[j] = 0
-	}
-	t.blockArtificials()
-	val, err := t.run(obj)
+	in, err := NewInstance(p)
 	if err != nil {
-		if errors.Is(err, errUnbounded) {
-			return Solution{Status: Unbounded}, nil
-		}
 		return Solution{}, err
 	}
-
-	x := make([]float64, p.NumVars)
-	for i, b := range t.basis {
-		if b < t.nStruct {
-			x[b] = t.rhs[i]
+	st, err := in.SolveCurrent()
+	if err != nil {
+		return Solution{}, err
+	}
+	sol := Solution{Status: st, Pivots: in.Pivots()}
+	if st == Optimal {
+		sol.X = in.Values(nil)
+		for j, c := range p.Objective {
+			sol.Objective += c * sol.X[j]
 		}
 	}
-	if p.Maximize {
-		val = -val
-	}
-	return Solution{Status: Optimal, X: x, Objective: val}, nil
-}
-
-// build constructs the initial tableau with slack and artificial columns and
-// a feasible starting basis.
-func build(p Problem) *tableau {
-	m := len(p.Constraints)
-	// Count slack and artificial columns.
-	nSlack, nArt := 0, 0
-	for _, c := range p.Constraints {
-		rhs := c.RHS
-		sense := c.Sense
-		if rhs < 0 {
-			sense = flip(sense)
-		}
-		switch sense {
-		case LE:
-			nSlack++
-		case GE:
-			nSlack++
-			nArt++
-		case EQ:
-			nArt++
-		}
-	}
-	n := p.NumVars + nSlack + nArt
-	t := &tableau{
-		m:       m,
-		n:       n,
-		nStruct: p.NumVars,
-		nArt:    nArt,
-		a:       make([][]float64, m),
-		rhs:     make([]float64, m),
-		basis:   make([]int, m),
-	}
-	slackCol := p.NumVars
-	artCol := p.NumVars + nSlack
-	for i, c := range p.Constraints {
-		row := make([]float64, n)
-		sign := 1.0
-		sense := c.Sense
-		rhs := c.RHS
-		if rhs < 0 {
-			sign = -1
-			rhs = -rhs
-			sense = flip(sense)
-		}
-		for j, v := range c.Coeffs {
-			row[j] = sign * v
-		}
-		t.rhs[i] = rhs
-		switch sense {
-		case LE:
-			row[slackCol] = 1
-			t.basis[i] = slackCol
-			slackCol++
-		case GE:
-			row[slackCol] = -1
-			slackCol++
-			row[artCol] = 1
-			t.basis[i] = artCol
-			artCol++
-		case EQ:
-			row[artCol] = 1
-			t.basis[i] = artCol
-			artCol++
-		}
-		t.a[i] = row
-	}
-	return t
-}
-
-func flip(s Sense) Sense {
-	switch s {
-	case LE:
-		return GE
-	case GE:
-		return LE
-	default:
-		return EQ
-	}
-}
-
-var errUnbounded = errors.New("lp: unbounded")
-
-// run minimizes obj·x over the current tableau using Bland's rule, returning
-// the optimal value. The tableau is left at the optimal basis.
-func (t *tableau) run(obj []float64) (float64, error) {
-	// Reduced costs: z[j] = obj[j] - cb·B^-1·A_j. Maintain the objective
-	// row explicitly, starting from obj and pricing out the basic columns.
-	z := make([]float64, t.n)
-	copy(z, obj)
-	val := 0.0
-	for i, b := range t.basis {
-		if obj[b] != 0 {
-			cb := obj[b]
-			for j := 0; j < t.n; j++ {
-				z[j] -= cb * t.a[i][j]
-			}
-			val += cb * t.rhs[i]
-		}
-	}
-
-	maxIter := 10000 * (t.m + t.n + 1)
-	for iter := 0; iter < maxIter; iter++ {
-		// Bland: entering = lowest-index column with negative reduced cost.
-		enter := -1
-		for j := 0; j < t.n; j++ {
-			if z[j] < -eps {
-				enter = j
-				break
-			}
-		}
-		if enter < 0 {
-			return val, nil // optimal
-		}
-		// Ratio test; Bland ties by lowest basis variable index.
-		leave := -1
-		best := math.Inf(1)
-		for i := 0; i < t.m; i++ {
-			if t.a[i][enter] > eps {
-				r := t.rhs[i] / t.a[i][enter]
-				if r < best-eps || (r < best+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
-					best = r
-					leave = i
-				}
-			}
-		}
-		if leave < 0 {
-			return 0, errUnbounded
-		}
-		t.pivot(leave, enter, z, &val)
-	}
-	return 0, fmt.Errorf("lp: iteration limit exceeded (m=%d n=%d)", t.m, t.n)
-}
-
-// pivot performs a pivot on (row, col), updating the objective row z and
-// objective value.
-func (t *tableau) pivot(row, col int, z []float64, val *float64) {
-	piv := t.a[row][col]
-	inv := 1 / piv
-	for j := 0; j < t.n; j++ {
-		t.a[row][j] *= inv
-	}
-	t.rhs[row] *= inv
-	for i := 0; i < t.m; i++ {
-		if i == row {
-			continue
-		}
-		f := t.a[i][col]
-		if f == 0 {
-			continue
-		}
-		for j := 0; j < t.n; j++ {
-			t.a[i][j] -= f * t.a[row][j]
-		}
-		t.rhs[i] -= f * t.rhs[row]
-		if t.rhs[i] < 0 && t.rhs[i] > -eps {
-			t.rhs[i] = 0
-		}
-	}
-	f := z[col]
-	if f != 0 {
-		for j := 0; j < t.n; j++ {
-			z[j] -= f * t.a[row][j]
-		}
-		*val += f * t.rhs[row]
-	}
-	t.basis[row] = col
-}
-
-// evictArtificials pivots any artificial variable that remains basic (at
-// zero level after a successful phase 1) out of the basis where possible.
-func (t *tableau) evictArtificials() {
-	artStart := t.n - t.nArt
-	for i := 0; i < t.m; i++ {
-		if t.basis[i] < artStart {
-			continue
-		}
-		// Find a non-artificial column with a nonzero entry to pivot in.
-		for j := 0; j < artStart; j++ {
-			if math.Abs(t.a[i][j]) > eps {
-				dummy := make([]float64, t.n)
-				var v float64
-				t.pivot(i, j, dummy, &v)
-				break
-			}
-		}
-		// If none exists the row is redundant (all zeros); leave it.
-	}
-}
-
-// blockArtificials zeroes artificial columns so they can never re-enter.
-func (t *tableau) blockArtificials() {
-	artStart := t.n - t.nArt
-	for i := 0; i < t.m; i++ {
-		for j := artStart; j < t.n; j++ {
-			if t.basis[i] != j {
-				t.a[i][j] = 0
-			}
-		}
-	}
+	return sol, nil
 }

@@ -1,0 +1,1067 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the bounded revised simplex that backs Solve and the
+// branch-and-bound in internal/mip. Unlike the dense two-phase tableau in
+// reference.go it works on the original sparse columns plus a maintained
+// basis inverse, supports native per-variable bounds (so integer branching
+// tightens a bound instead of appending a row), and keeps its factorization
+// and scratch memory alive between solves: re-solving after a bound or RHS
+// change warm-starts from the previous optimal basis, usually skipping
+// phase 1 entirely.
+//
+// Pivoting is Dantzig (most negative reduced cost) for speed, with an
+// automatic switch to Bland's rule after a run of degenerate steps, which
+// restores the guaranteed-termination property of the reference solver.
+
+// Nonbasic/basic variable statuses.
+const (
+	vsLower int8 = iota // nonbasic at lower bound
+	vsUpper             // nonbasic at upper bound
+	vsFree              // nonbasic free variable, pinned at zero
+	vsBasic
+)
+
+// Solver tolerances.
+const (
+	feasTol  = 1e-7  // bound violation considered infeasible
+	costTol  = 1e-7  // reduced-cost optimality threshold
+	pivotTol = 1e-9  // minimum |w_i| for a row to block the ratio test
+	degenTol = 1e-9  // step sizes below this count as degenerate
+	tieTol   = 1e-7  // ratio-test tie window (relative to min ratio)
+	residTol = 1e-6  // row residual that triggers refactorization
+)
+
+// blandTrigger is how many consecutive degenerate pivots are tolerated
+// before switching from Dantzig to Bland's anti-cycling rule.
+const blandTrigger = 64
+
+// Instance is a compiled linear program. Compiling converts the row-form
+// Problem into computational standard form (min c·x, Ax + s = b, l ≤ x ≤ u,
+// one bounded slack per row) with sparse columns, and allocates every array
+// the simplex needs exactly once. All subsequent operations — bound
+// tightening, RHS/objective refreshes, and repeated solves — reuse that
+// arena, so a full branch-and-bound tree performs O(1) large allocations.
+//
+// An Instance is not safe for concurrent use.
+type Instance struct {
+	m       int // constraint rows
+	nStruct int // structural variables
+	n       int // total variables (structural + one slack per row)
+
+	maximize bool
+	cmin     []float64 // len n, minimization sense, slack costs zero
+	b        []float64 // len m
+	senses   []Sense   // len m
+	baseLo   []float64 // len n, bounds as compiled (slack bounds from sense)
+	baseHi   []float64
+
+	// Structural columns, CSC. Slack column nStruct+i is the implicit unit
+	// vector e_i and is not stored.
+	colPtr []int32
+	colRow []int32
+	colVal []float64
+	// Row-major mirror of the same nonzeros: Refresh uses it to verify
+	// structural equality, and the residual check to evaluate rows.
+	rowPtr []int32
+	rowCol []int32
+	rowVal []float64
+
+	// Mutable solver state, preserved between solves for warm starting.
+	lo, hi    []float64
+	basis     []int32 // basis[i] = variable basic in row i
+	vstat     []int8  // len n
+	binv      []float64 // m×m row-major basis inverse
+	binvIdent bool      // binv is exactly the identity (skip matvecs)
+	xB        []float64 // len m, values of basic variables
+	ready     bool      // basis state is valid (false before first solve)
+
+	// Scratch (reused every iteration).
+	accum  []float64 // m
+	w      []float64 // m, FTRAN result B⁻¹A_q
+	y      []float64 // m, BTRAN result
+	d      []float64 // n, reduced costs (maintained incrementally in phase 2)
+	dExact bool
+	cb1    []int8 // m, phase-1 cost markers
+
+	pivots int64
+}
+
+// NewInstance compiles p. The problem must already be valid (see
+// Problem.Validate); Solve validates before compiling, and internal/mip
+// validates once at the root of its search rather than at every node.
+func NewInstance(p Problem) (*Instance, error) {
+	if p.NumVars <= 0 {
+		return nil, fmt.Errorf("%w: NumVars = %d", ErrBadProblem, p.NumVars)
+	}
+	m := len(p.Constraints)
+	ns := p.NumVars
+	n := ns + m
+	in := &Instance{
+		m: m, nStruct: ns, n: n,
+		maximize: p.Maximize,
+		cmin:     make([]float64, n),
+		b:        make([]float64, m),
+		senses:   make([]Sense, m),
+		baseLo:   make([]float64, n),
+		baseHi:   make([]float64, n),
+		lo:       make([]float64, n),
+		hi:       make([]float64, n),
+		basis:    make([]int32, m),
+		vstat:    make([]int8, n),
+		binv:     make([]float64, m*m),
+		xB:       make([]float64, m),
+		accum:    make([]float64, m),
+		w:        make([]float64, m),
+		y:        make([]float64, m),
+		d:        make([]float64, n),
+		cb1:      make([]int8, m),
+	}
+	// Count nonzeros, then fill CSC and the row-major mirror.
+	nnz := 0
+	for _, c := range p.Constraints {
+		for _, v := range c.Coeffs {
+			if v != 0 {
+				nnz++
+			}
+		}
+	}
+	in.colPtr = make([]int32, ns+1)
+	in.colRow = make([]int32, nnz)
+	in.colVal = make([]float64, nnz)
+	in.rowPtr = make([]int32, m+1)
+	in.rowCol = make([]int32, nnz)
+	in.rowVal = make([]float64, nnz)
+	counts := make([]int32, ns)
+	k := 0
+	for i, c := range p.Constraints {
+		for j, v := range c.Coeffs {
+			if v != 0 {
+				counts[j]++
+				in.rowCol[k] = int32(j)
+				in.rowVal[k] = v
+				k++
+			}
+		}
+		in.rowPtr[i+1] = int32(k)
+	}
+	for j := 0; j < ns; j++ {
+		in.colPtr[j+1] = in.colPtr[j] + counts[j]
+	}
+	fill := make([]int32, ns)
+	copy(fill, in.colPtr[:ns])
+	for i, c := range p.Constraints {
+		for j, v := range c.Coeffs {
+			if v != 0 {
+				in.colRow[fill[j]] = int32(i)
+				in.colVal[fill[j]] = v
+				fill[j]++
+			}
+		}
+		_ = i
+	}
+	in.loadData(p)
+	return in, nil
+}
+
+// loadData copies the refreshable parts of p (objective, RHS, bounds) into
+// the instance. The structural pattern must already match.
+func (in *Instance) loadData(p Problem) {
+	for j := range in.cmin {
+		in.cmin[j] = 0
+	}
+	for j, c := range p.Objective {
+		if in.maximize {
+			in.cmin[j] = -c
+		} else {
+			in.cmin[j] = c
+		}
+	}
+	for j := 0; j < in.nStruct; j++ {
+		in.baseLo[j] = 0
+		in.baseHi[j] = math.Inf(1)
+	}
+	for j, v := range p.Lower {
+		in.baseLo[j] = v
+	}
+	for j, v := range p.Upper {
+		in.baseHi[j] = v
+	}
+	for i, c := range p.Constraints {
+		in.b[i] = c.RHS
+		in.senses[i] = c.Sense
+		s := in.nStruct + i
+		switch c.Sense {
+		case LE: // a·x + s = b, s ≥ 0
+			in.baseLo[s], in.baseHi[s] = 0, math.Inf(1)
+		case GE: // a·x + s = b, s ≤ 0
+			in.baseLo[s], in.baseHi[s] = math.Inf(-1), 0
+		default: // EQ: s fixed at 0
+			in.baseLo[s], in.baseHi[s] = 0, 0
+		}
+	}
+	in.ResetBounds()
+}
+
+// Refresh updates the instance with p's objective, RHS and bounds while
+// keeping the current basis, provided p is structurally identical to the
+// compiled problem (same dimensions, senses and constraint coefficients).
+// It reports whether the refresh succeeded; on false the instance is
+// unchanged and the caller should compile a new one. A successful refresh
+// makes the next SolveCurrent warm-start from the previous optimal basis.
+func (in *Instance) Refresh(p Problem) bool {
+	if p.NumVars != in.nStruct || len(p.Constraints) != in.m || p.Maximize != in.maximize {
+		return false
+	}
+	for i, c := range p.Constraints {
+		if c.Sense != in.senses[i] {
+			return false
+		}
+		k := in.rowPtr[i]
+		end := in.rowPtr[i+1]
+		for j, v := range c.Coeffs {
+			if v == 0 {
+				continue
+			}
+			if k == end || in.rowCol[k] != int32(j) || in.rowVal[k] != v {
+				return false
+			}
+			k++
+		}
+		if k != end {
+			return false
+		}
+	}
+	in.loadData(p)
+	return true
+}
+
+// ResetBounds restores the compiled bounds, undoing any SetBound calls.
+func (in *Instance) ResetBounds() {
+	copy(in.lo, in.baseLo)
+	copy(in.hi, in.baseHi)
+}
+
+// SetBound overrides structural variable j's bounds for subsequent solves
+// (until ResetBounds). Branch-and-bound uses this instead of adding rows.
+func (in *Instance) SetBound(j int, lo, hi float64) {
+	in.lo[j], in.hi[j] = lo, hi
+}
+
+// Bounds returns structural variable j's current working bounds.
+func (in *Instance) Bounds(j int) (lo, hi float64) { return in.lo[j], in.hi[j] }
+
+// NumVars returns the structural variable count.
+func (in *Instance) NumVars() int { return in.nStruct }
+
+// Pivots returns the cumulative simplex pivot count across all solves.
+func (in *Instance) Pivots() int64 { return in.pivots }
+
+// Values writes the structural solution into dst (allocating if needed) and
+// returns it. Only meaningful after SolveCurrent returned Optimal.
+func (in *Instance) Values(dst []float64) []float64 {
+	if cap(dst) < in.nStruct {
+		dst = make([]float64, in.nStruct)
+	}
+	dst = dst[:in.nStruct]
+	for j := 0; j < in.nStruct; j++ {
+		dst[j] = in.value(j)
+	}
+	for i, bj := range in.basis {
+		if int(bj) < in.nStruct {
+			dst[bj] = in.xB[i]
+		}
+	}
+	return dst
+}
+
+// ObjectiveValue returns c·x in the problem's own sense.
+func (in *Instance) ObjectiveValue() float64 {
+	var v float64
+	for j := 0; j < in.nStruct; j++ {
+		if in.cmin[j] != 0 {
+			v += in.cmin[j] * in.valueOf(j)
+		}
+	}
+	if in.maximize {
+		v = -v
+	}
+	return v
+}
+
+// valueOf returns variable j's current value whether basic or nonbasic.
+func (in *Instance) valueOf(j int) float64 {
+	if in.vstat[j] == vsBasic {
+		for i, bj := range in.basis {
+			if int(bj) == j {
+				return in.xB[i]
+			}
+		}
+		return 0
+	}
+	return in.value(j)
+}
+
+// value returns nonbasic variable j's value implied by its status.
+func (in *Instance) value(j int) float64 {
+	switch in.vstat[j] {
+	case vsLower:
+		return in.lo[j]
+	case vsUpper:
+		return in.hi[j]
+	default:
+		return 0
+	}
+}
+
+// SolveCurrent optimizes under the current bounds, warm-starting from the
+// basis left by the previous solve when one exists. It allocates nothing.
+func (in *Instance) SolveCurrent() (Status, error) {
+	for j := 0; j < in.n; j++ {
+		if in.lo[j] > in.hi[j]+feasTol {
+			return Infeasible, nil
+		}
+	}
+	if !in.ready {
+		in.crash()
+	}
+	in.repairStatuses()
+	var st Status
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		in.computeXB()
+		st, err = in.phase1()
+		if err == nil && st == Optimal {
+			st, err = in.phase2()
+		}
+		// Any conclusion — optimal, infeasible, or unbounded — is trusted
+		// only while the factored basis still reproduces the rows: a
+		// drifted product-form inverse manufactures phantom infeasibility
+		// just as readily as a wrong optimum. On a bad residual (or an
+		// internal dead end) rebuild the inverse from the basis, falling
+		// back to the all-slack crash basis when it has gone singular, and
+		// re-solve.
+		if err == nil && in.residualOK() {
+			return st, nil
+		}
+		if !in.refactorize() {
+			in.crash()
+		}
+	}
+	return st, err
+}
+
+// crash installs the all-slack starting basis: every slack basic, every
+// structural variable nonbasic at a finite bound (or free at zero).
+func (in *Instance) crash() {
+	for j := 0; j < in.nStruct; j++ {
+		switch {
+		case !math.IsInf(in.lo[j], -1):
+			in.vstat[j] = vsLower
+		case !math.IsInf(in.hi[j], 1):
+			in.vstat[j] = vsUpper
+		default:
+			in.vstat[j] = vsFree
+		}
+	}
+	for i := 0; i < in.m; i++ {
+		in.basis[i] = int32(in.nStruct + i)
+		in.vstat[in.nStruct+i] = vsBasic
+	}
+	in.setIdentity()
+	in.ready = true
+}
+
+func (in *Instance) setIdentity() {
+	clear(in.binv)
+	for i := 0; i < in.m; i++ {
+		in.binv[i*in.m+i] = 1
+	}
+	in.binvIdent = true
+}
+
+// repairStatuses fixes nonbasic statuses that bound updates invalidated
+// (e.g. a variable recorded at a lower bound that is now -inf).
+func (in *Instance) repairStatuses() {
+	for j := 0; j < in.n; j++ {
+		switch in.vstat[j] {
+		case vsLower:
+			if math.IsInf(in.lo[j], -1) {
+				if math.IsInf(in.hi[j], 1) {
+					in.vstat[j] = vsFree
+				} else {
+					in.vstat[j] = vsUpper
+				}
+			}
+		case vsUpper:
+			if math.IsInf(in.hi[j], 1) {
+				if math.IsInf(in.lo[j], -1) {
+					in.vstat[j] = vsFree
+				} else {
+					in.vstat[j] = vsLower
+				}
+			}
+		}
+	}
+}
+
+// computeXB evaluates the basic variable values for the current bounds:
+// x_B = B⁻¹(b - N·x_N).
+func (in *Instance) computeXB() {
+	copy(in.accum, in.b)
+	for j := 0; j < in.n; j++ {
+		if in.vstat[j] == vsBasic {
+			continue
+		}
+		v := in.value(j)
+		if v == 0 {
+			continue
+		}
+		if j < in.nStruct {
+			for k := in.colPtr[j]; k < in.colPtr[j+1]; k++ {
+				in.accum[in.colRow[k]] -= in.colVal[k] * v
+			}
+		} else {
+			in.accum[j-in.nStruct] -= v
+		}
+	}
+	if in.binvIdent {
+		copy(in.xB, in.accum)
+		return
+	}
+	m := in.m
+	for i := 0; i < m; i++ {
+		row := in.binv[i*m : i*m+m]
+		var s float64
+		for k, a := range in.accum {
+			if a != 0 {
+				s += row[k] * a
+			}
+		}
+		in.xB[i] = s
+	}
+}
+
+// ftran computes w = B⁻¹·A_q for entering column q.
+func (in *Instance) ftran(q int) {
+	m := in.m
+	clear(in.w)
+	if q >= in.nStruct {
+		r := q - in.nStruct
+		if in.binvIdent {
+			in.w[r] = 1
+			return
+		}
+		for i := 0; i < m; i++ {
+			in.w[i] = in.binv[i*m+r]
+		}
+		return
+	}
+	if in.binvIdent {
+		for k := in.colPtr[q]; k < in.colPtr[q+1]; k++ {
+			in.w[in.colRow[k]] = in.colVal[k]
+		}
+		return
+	}
+	for k := in.colPtr[q]; k < in.colPtr[q+1]; k++ {
+		r, v := int(in.colRow[k]), in.colVal[k]
+		for i := 0; i < m; i++ {
+			in.w[i] += v * in.binv[i*m+r]
+		}
+	}
+}
+
+// colDot returns y·A_j for column j (slack columns are unit vectors).
+func (in *Instance) colDot(y []float64, j int) float64 {
+	if j >= in.nStruct {
+		return y[j-in.nStruct]
+	}
+	var s float64
+	for k := in.colPtr[j]; k < in.colPtr[j+1]; k++ {
+		s += y[in.colRow[k]] * in.colVal[k]
+	}
+	return s
+}
+
+// updateBinv applies the pivot on row r with the current FTRAN result w.
+func (in *Instance) updateBinv(r int) {
+	m := in.m
+	inv := 1 / in.w[r]
+	rowR := in.binv[r*m : r*m+m]
+	for k := range rowR {
+		rowR[k] *= inv
+	}
+	for i := 0; i < m; i++ {
+		if i == r {
+			continue
+		}
+		f := in.w[i]
+		if f == 0 {
+			continue
+		}
+		row := in.binv[i*m : i*m+m]
+		for k := range rowR {
+			row[k] -= f * rowR[k]
+		}
+	}
+	in.binvIdent = false
+}
+
+// phase1 drives the basic variables inside their bounds, minimizing the sum
+// of bound violations with a composite objective. It returns Optimal once
+// feasible, Infeasible when the violation sum cannot reach zero.
+func (in *Instance) phase1() (Status, error) {
+	maxIter := 10000 * (in.m + in.n + 1)
+	bland := false
+	degen := 0
+	for iter := 0; iter < maxIter; iter++ {
+		ninf := 0
+		for i := 0; i < in.m; i++ {
+			j := in.basis[i]
+			switch {
+			case in.xB[i] < in.lo[j]-feasTol:
+				in.cb1[i] = -1
+				ninf++
+			case in.xB[i] > in.hi[j]+feasTol:
+				in.cb1[i] = 1
+				ninf++
+			default:
+				in.cb1[i] = 0
+			}
+		}
+		if ninf == 0 {
+			return Optimal, nil
+		}
+		// BTRAN with the composite cost: y = cb1ᵀ·B⁻¹.
+		m := in.m
+		clear(in.y)
+		if in.binvIdent {
+			for i := 0; i < m; i++ {
+				in.y[i] = float64(in.cb1[i])
+			}
+		} else {
+			for i := 0; i < m; i++ {
+				if c := in.cb1[i]; c != 0 {
+					f := float64(c)
+					row := in.binv[i*m : i*m+m]
+					for k := range row {
+						in.y[k] += f * row[k]
+					}
+				}
+			}
+		}
+		enter, dir := in.priceFromY(bland)
+		if enter < 0 {
+			return Infeasible, nil
+		}
+		in.ftran(enter)
+		t, leave, toUpper, flip := in.ratioPhase1(enter, dir, bland)
+		if leave < 0 && !flip {
+			return Optimal, fmt.Errorf("lp: phase-1 ratio test found no blocking bound (m=%d n=%d)", in.m, in.n)
+		}
+		in.applyStep(enter, dir, t, leave, toUpper, flip, false)
+		if t <= degenTol {
+			if degen++; degen > blandTrigger {
+				bland = true
+			}
+		} else {
+			degen, bland = 0, false
+		}
+	}
+	return Optimal, fmt.Errorf("lp: phase-1 iteration limit exceeded (m=%d n=%d)", in.m, in.n)
+}
+
+// priceFromY selects an entering variable from exact reduced costs
+// d_j = -y·A_j (phase-1 costs are zero for every nonbasic variable).
+func (in *Instance) priceFromY(bland bool) (enter, dir int) {
+	enter, dir = -1, 1
+	best := costTol
+	for j := 0; j < in.n; j++ {
+		st := in.vstat[j]
+		if st == vsBasic {
+			continue
+		}
+		dj := -in.colDot(in.y, j)
+		var score float64
+		var dj0 int
+		switch st {
+		case vsLower:
+			score, dj0 = -dj, 1
+		case vsUpper:
+			score, dj0 = dj, -1
+		default: // free
+			score = math.Abs(dj)
+			if dj > 0 {
+				dj0 = -1
+			} else {
+				dj0 = 1
+			}
+		}
+		if score > best {
+			enter, dir = j, dj0
+			if bland {
+				return
+			}
+			best = score
+		}
+	}
+	return
+}
+
+// ratioPhase1 runs the phase-1 ratio test: infeasible basics block when
+// they reach the bound they violate (becoming feasible), feasible basics
+// block at their own bounds, and the entering variable may flip across its
+// range. Returns the step, the leaving row (-1 for a bound flip), which
+// bound the leaver hits, and whether the step is a flip.
+func (in *Instance) ratioPhase1(enter, dir int, bland bool) (t float64, leave int, toUpper, flip bool) {
+	minT := math.Inf(1)
+	if r := in.hi[enter] - in.lo[enter]; in.vstat[enter] != vsFree && !math.IsInf(r, 1) {
+		minT = r
+		flip = true
+	}
+	leave = -1
+	for i := 0; i < in.m; i++ {
+		wi := in.w[i]
+		if wi < pivotTol && wi > -pivotTol {
+			continue
+		}
+		delta := -float64(dir) * wi
+		j := in.basis[i]
+		var target float64
+		if delta > 0 {
+			switch {
+			case in.xB[i] < in.lo[j]-feasTol:
+				target = in.lo[j] // becomes feasible at its lower bound
+			case in.xB[i] > in.hi[j]+feasTol:
+				continue // moving further above upper: never blocks
+			default:
+				target = in.hi[j]
+			}
+			if math.IsInf(target, 1) {
+				continue
+			}
+		} else {
+			switch {
+			case in.xB[i] > in.hi[j]+feasTol:
+				target = in.hi[j]
+			case in.xB[i] < in.lo[j]-feasTol:
+				continue // moving further below lower: never blocks
+			default:
+				target = in.lo[j]
+			}
+			if math.IsInf(target, -1) {
+				continue
+			}
+		}
+		ti := (target - in.xB[i]) / delta
+		if ti < 0 {
+			ti = 0
+		}
+		if ti < minT {
+			minT = ti
+			flip = false
+		}
+	}
+	if math.IsInf(minT, 1) {
+		return 0, -1, false, false
+	}
+	if !flip {
+		leave, toUpper = in.pickLeaving(dir, minT, true, bland)
+		if leave < 0 {
+			// Numerical fallback: accept the flip if one exists.
+			if r := in.hi[enter] - in.lo[enter]; in.vstat[enter] != vsFree && !math.IsInf(r, 1) {
+				return r, -1, false, true
+			}
+			return 0, -1, false, false
+		}
+	}
+	return minT, leave, toUpper, flip
+}
+
+// pickLeaving re-scans the rows blocking at ratio ≤ minT+tie and picks the
+// numerically best (largest |w|) or, under Bland's rule, the lowest
+// variable index. phase1 selects targets with the phase-1 rules.
+func (in *Instance) pickLeaving(dir int, minT float64, phase1, bland bool) (leave int, toUpper bool) {
+	leave = -1
+	tie := minT + tieTol*(1+minT)
+	var bestW float64
+	bestIdx := int32(math.MaxInt32)
+	for i := 0; i < in.m; i++ {
+		wi := in.w[i]
+		if wi < pivotTol && wi > -pivotTol {
+			continue
+		}
+		delta := -float64(dir) * wi
+		j := in.basis[i]
+		var target float64
+		up := false
+		if delta > 0 {
+			switch {
+			case phase1 && in.xB[i] < in.lo[j]-feasTol:
+				target = in.lo[j]
+			case phase1 && in.xB[i] > in.hi[j]+feasTol:
+				continue
+			default:
+				target = in.hi[j]
+				up = true
+			}
+			if math.IsInf(target, 1) {
+				continue
+			}
+		} else {
+			switch {
+			case phase1 && in.xB[i] > in.hi[j]+feasTol:
+				target = in.hi[j]
+				up = true
+			case phase1 && in.xB[i] < in.lo[j]-feasTol:
+				continue
+			default:
+				target = in.lo[j]
+			}
+			if math.IsInf(target, -1) {
+				continue
+			}
+		}
+		ti := (target - in.xB[i]) / delta
+		if ti < 0 {
+			ti = 0
+		}
+		if ti > tie {
+			continue
+		}
+		if bland {
+			if j < bestIdx {
+				bestIdx, leave, toUpper = j, i, up
+			}
+		} else if aw := math.Abs(wi); aw > bestW {
+			bestW, leave, toUpper = aw, i, up
+		}
+	}
+	return
+}
+
+// applyStep moves the entering variable by t in direction dir, updating the
+// basic values and either flipping the entering bound or pivoting.
+// trackD must be true when phase 2's incremental reduced costs are live.
+func (in *Instance) applyStep(enter, dir int, t float64, leave int, toUpper, flip, trackD bool) {
+	if t != 0 {
+		f := float64(dir) * t
+		for i := 0; i < in.m; i++ {
+			if wi := in.w[i]; wi != 0 {
+				in.xB[i] -= f * wi
+			}
+		}
+	}
+	if flip {
+		if in.vstat[enter] == vsLower {
+			in.vstat[enter] = vsUpper
+		} else {
+			in.vstat[enter] = vsLower
+		}
+		return
+	}
+	v := in.value(enter) + float64(dir)*t
+	out := in.basis[leave]
+	if trackD {
+		in.updateD(leave, enter, int(out))
+	}
+	if toUpper {
+		in.vstat[out] = vsUpper
+		in.xBSnap(leave, in.hi[out])
+	} else {
+		in.vstat[out] = vsLower
+		in.xBSnap(leave, in.lo[out])
+	}
+	in.basis[leave] = int32(enter)
+	in.vstat[enter] = vsBasic
+	in.updateBinv(leave)
+	in.xB[leave] = v
+	in.pivots++
+}
+
+// xBSnap is a no-op hook documenting that the leaving variable's value is
+// snapped exactly to its bound (its value is henceforth implied by vstat).
+func (in *Instance) xBSnap(row int, bound float64) { _ = row; _ = bound }
+
+// updateD maintains the phase-2 reduced costs across the pivot on row
+// `leave` with entering column `enter`: d'_j = d_j - (d_q/w_r)·α_rj where
+// α_r is row r of B⁻¹N, computed sparsely from the pre-pivot basis inverse.
+func (in *Instance) updateD(leave, enter, out int) {
+	m := in.m
+	ratio := in.d[enter] / in.w[leave]
+	if ratio == 0 {
+		in.d[enter] = 0
+		in.d[out] = 0
+		return
+	}
+	var rowR []float64
+	if !in.binvIdent {
+		rowR = in.binv[leave*m : leave*m+m]
+	}
+	for j := 0; j < in.n; j++ {
+		if in.vstat[j] == vsBasic || j == enter {
+			continue
+		}
+		var alpha float64
+		if rowR == nil {
+			if j >= in.nStruct {
+				if j-in.nStruct == leave {
+					alpha = 1
+				}
+			} else {
+				for k := in.colPtr[j]; k < in.colPtr[j+1]; k++ {
+					if int(in.colRow[k]) == leave {
+						alpha = in.colVal[k]
+						break
+					}
+				}
+			}
+		} else {
+			alpha = in.colDot(rowR, j)
+		}
+		if alpha != 0 {
+			in.d[j] -= ratio * alpha
+		}
+	}
+	in.d[enter] = 0
+	in.d[out] = -ratio
+}
+
+// refreshD recomputes the phase-2 reduced costs exactly:
+// d_j = c_j - (c_Bᵀ·B⁻¹)·A_j.
+func (in *Instance) refreshD() {
+	m := in.m
+	clear(in.y)
+	if in.binvIdent {
+		for i := 0; i < m; i++ {
+			in.y[i] = in.cmin[in.basis[i]]
+		}
+	} else {
+		for i := 0; i < m; i++ {
+			if c := in.cmin[in.basis[i]]; c != 0 {
+				row := in.binv[i*m : i*m+m]
+				for k := range row {
+					in.y[k] += c * row[k]
+				}
+			}
+		}
+	}
+	for j := 0; j < in.n; j++ {
+		if in.vstat[j] == vsBasic {
+			in.d[j] = 0
+		} else {
+			in.d[j] = in.cmin[j] - in.colDot(in.y, j)
+		}
+	}
+	in.dExact = true
+}
+
+// pickFromD selects a phase-2 entering variable from the maintained
+// reduced costs.
+func (in *Instance) pickFromD(bland bool) (enter, dir int) {
+	enter, dir = -1, 1
+	best := costTol
+	for j := 0; j < in.n; j++ {
+		var score float64
+		var dj0 int
+		switch in.vstat[j] {
+		case vsLower:
+			score, dj0 = -in.d[j], 1
+		case vsUpper:
+			score, dj0 = in.d[j], -1
+		case vsFree:
+			score = math.Abs(in.d[j])
+			if in.d[j] > 0 {
+				dj0 = -1
+			} else {
+				dj0 = 1
+			}
+		default:
+			continue
+		}
+		if score > best {
+			enter, dir = j, dj0
+			if bland {
+				return
+			}
+			best = score
+		}
+	}
+	return
+}
+
+// phase2 optimizes the true objective from a primal-feasible basis.
+func (in *Instance) phase2() (Status, error) {
+	in.refreshD()
+	maxIter := 10000 * (in.m + in.n + 1)
+	bland := false
+	degen := 0
+	for iter := 0; iter < maxIter; iter++ {
+		enter, dir := in.pickFromD(bland)
+		if enter < 0 {
+			if !in.dExact {
+				in.refreshD()
+				if e2, _ := in.pickFromD(bland); e2 >= 0 {
+					continue
+				}
+			}
+			return Optimal, nil
+		}
+		in.ftran(enter)
+		t, leave, toUpper, flip, unbounded := in.ratioPhase2(enter, dir, bland)
+		if unbounded {
+			return Unbounded, nil
+		}
+		in.applyStep(enter, dir, t, leave, toUpper, flip, true)
+		if !flip {
+			in.dExact = false
+		}
+		if t <= degenTol {
+			if degen++; degen > blandTrigger {
+				bland = true
+			}
+		} else {
+			degen, bland = 0, false
+		}
+	}
+	return Optimal, fmt.Errorf("lp: phase-2 iteration limit exceeded (m=%d n=%d)", in.m, in.n)
+}
+
+// ratioPhase2 is the standard bounded-variable ratio test: every basic
+// variable blocks at its own bound, and the entering variable may flip.
+func (in *Instance) ratioPhase2(enter, dir int, bland bool) (t float64, leave int, toUpper, flip, unbounded bool) {
+	minT := math.Inf(1)
+	if r := in.hi[enter] - in.lo[enter]; in.vstat[enter] != vsFree && !math.IsInf(r, 1) {
+		minT = r
+		flip = true
+	}
+	leave = -1
+	for i := 0; i < in.m; i++ {
+		wi := in.w[i]
+		if wi < pivotTol && wi > -pivotTol {
+			continue
+		}
+		delta := -float64(dir) * wi
+		j := in.basis[i]
+		var target float64
+		if delta > 0 {
+			target = in.hi[j]
+			if math.IsInf(target, 1) {
+				continue
+			}
+		} else {
+			target = in.lo[j]
+			if math.IsInf(target, -1) {
+				continue
+			}
+		}
+		ti := (target - in.xB[i]) / delta
+		if ti < 0 {
+			ti = 0
+		}
+		if ti < minT {
+			minT = ti
+			flip = false
+		}
+	}
+	if math.IsInf(minT, 1) {
+		return 0, -1, false, false, true
+	}
+	if !flip {
+		leave, toUpper = in.pickLeaving(dir, minT, false, bland)
+		if leave < 0 {
+			if r := in.hi[enter] - in.lo[enter]; in.vstat[enter] != vsFree && !math.IsInf(r, 1) {
+				return r, -1, false, true, false
+			}
+			return 0, -1, false, false, true
+		}
+	}
+	return minT, leave, toUpper, flip, false
+}
+
+// residualOK verifies Ax + s = b actually holds at the claimed optimum,
+// catching accumulated factorization error.
+func (in *Instance) residualOK() bool {
+	for i := 0; i < in.m; i++ {
+		var lhs float64
+		for k := in.rowPtr[i]; k < in.rowPtr[i+1]; k++ {
+			lhs += in.rowVal[k] * in.valueRow(int(in.rowCol[k]))
+		}
+		lhs += in.valueRow(in.nStruct + i)
+		if diff := lhs - in.b[i]; diff > residTol || diff < -residTol {
+			return false
+		}
+	}
+	return true
+}
+
+// valueRow is valueOf with the basic lookup done through a linear scan;
+// residual checks are rare so clarity wins over an index map.
+func (in *Instance) valueRow(j int) float64 { return in.valueOf(j) }
+
+// refactorize rebuilds B⁻¹ from the basis columns by Gauss-Jordan
+// elimination with partial pivoting. Returns false if B is numerically
+// singular (the caller then falls back to the all-slack crash basis).
+func (in *Instance) refactorize() bool {
+	m := in.m
+	if m == 0 {
+		return true
+	}
+	// bmat = B (column i = column of basis[i]), eliminated in place while
+	// the same operations build binv from the identity.
+	bmat := make([]float64, m*m)
+	for i, bj := range in.basis {
+		j := int(bj)
+		if j >= in.nStruct {
+			bmat[(j-in.nStruct)*m+i] = 1
+			continue
+		}
+		for k := in.colPtr[j]; k < in.colPtr[j+1]; k++ {
+			bmat[int(in.colRow[k])*m+i] = in.colVal[k]
+		}
+	}
+	in.setIdentity()
+	in.binvIdent = false
+	for col := 0; col < m; col++ {
+		// Partial pivot.
+		p, best := -1, pivotTol
+		for r := col; r < m; r++ {
+			if a := math.Abs(bmat[r*m+col]); a > best {
+				p, best = r, a
+			}
+		}
+		if p < 0 {
+			return false
+		}
+		if p != col {
+			for k := 0; k < m; k++ {
+				bmat[p*m+k], bmat[col*m+k] = bmat[col*m+k], bmat[p*m+k]
+				in.binv[p*m+k], in.binv[col*m+k] = in.binv[col*m+k], in.binv[p*m+k]
+			}
+			in.basis[p], in.basis[col] = in.basis[col], in.basis[p]
+		}
+		inv := 1 / bmat[col*m+col]
+		for k := 0; k < m; k++ {
+			bmat[col*m+k] *= inv
+			in.binv[col*m+k] *= inv
+		}
+		for r := 0; r < m; r++ {
+			if r == col {
+				continue
+			}
+			f := bmat[r*m+col]
+			if f == 0 {
+				continue
+			}
+			for k := 0; k < m; k++ {
+				bmat[r*m+k] -= f * bmat[col*m+k]
+				in.binv[r*m+k] -= f * in.binv[col*m+k]
+			}
+		}
+	}
+	return true
+}

@@ -3,6 +3,13 @@
 // scheduler needs (§3.1): binary site-selection indicators combined with
 // continuous allocation variables, and minimax (peak) objectives expressed
 // through auxiliary variables.
+//
+// Branching tightens variable bounds on a single compiled lp.Instance
+// instead of appending constraint rows, so the LP never grows with tree
+// depth and every node solve warm-starts from the basis the previous node
+// left behind. A WarmState carries the instance (and its optimal basis)
+// across Solve calls, letting a scheduler replan start from the previous
+// interval's solution.
 package mip
 
 import (
@@ -26,8 +33,27 @@ type Options struct {
 	// MaxNodes caps the number of explored nodes (0 = default 200000).
 	MaxNodes int
 	// Gap is the relative optimality gap at which search stops early
-	// (0 = prove optimality exactly, up to tolerance).
+	// (0 = prove optimality exactly, up to tolerance). It is honored both
+	// after a new incumbent and in the best-first bound prune: when the
+	// smallest outstanding node bound is within Gap of the incumbent the
+	// search stops with Proven = true.
 	Gap float64
+	// Warm, when non-nil, carries the compiled LP instance and optimal
+	// basis between Solve calls. If the new problem is structurally
+	// identical to the carried one (same dimensions, senses, coefficients)
+	// the root LP warm-starts from the previous optimal basis; otherwise
+	// the instance is recompiled and the state updated.
+	Warm *WarmState
+	// Reference switches to the legacy solver stack (row-appending branch
+	// and bound over the dense Bland tableau in lp.SolveReference). It
+	// exists as the oracle side of differential tests.
+	Reference bool
+}
+
+// WarmState carries solver state across Solve calls. The zero value is
+// ready to use. A WarmState must not be shared between concurrent solves.
+type WarmState struct {
+	inst *lp.Instance
 }
 
 // Solution reports the MIP result.
@@ -42,15 +68,26 @@ type Solution struct {
 	// Proven is true when optimality was proven (tree exhausted within the
 	// gap), false when the node limit truncated the search.
 	Proven bool
+	// Pivots is the total simplex pivots across all node solves.
+	Pivots int64
+	// WarmHit is true when a WarmState basis was reused for the root solve.
+	WarmHit bool
 }
 
 const intTol = 1e-6
 
-// node is a branch-and-bound subproblem: extra variable bounds layered on
-// the root problem.
+// bchange is one branching decision: a tightened bound on variable v.
+type bchange struct {
+	v     int32
+	upper bool // true: v <= val, false: v >= val
+	val   float64
+}
+
+// node is a branch-and-bound subproblem: bound tightenings layered on the
+// root problem. changes is an append-only prefix list shared with siblings.
 type node struct {
-	bound  float64 // LP relaxation value (minimization sense)
-	extras []lp.Constraint
+	bound   float64 // LP relaxation value (minimization sense)
+	changes []bchange
 }
 
 // nodeQueue is a best-first priority queue on the LP bound.
@@ -68,7 +105,8 @@ func (q *nodeQueue) Pop() interface{} {
 	return it
 }
 
-// Solve runs branch and bound.
+// Solve runs branch and bound. The base problem is validated once here;
+// node subproblems only tighten bounds and need no re-validation.
 func Solve(p Problem, opt Options) (Solution, error) {
 	if err := p.Problem.Validate(); err != nil {
 		return Solution{}, err
@@ -76,6 +114,160 @@ func Solve(p Problem, opt Options) (Solution, error) {
 	if len(p.Integer) > p.NumVars {
 		return Solution{}, fmt.Errorf("mip: %d integrality flags for %d vars", len(p.Integer), p.NumVars)
 	}
+	if opt.Reference {
+		return solveReference(p, opt)
+	}
+	maxNodes := opt.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 200000
+	}
+
+	// Compile (or warm-reuse) the LP instance. All objective values below
+	// are handled in minimization sense via minSense.
+	var inst *lp.Instance
+	warmHit := false
+	if opt.Warm != nil && opt.Warm.inst != nil && opt.Warm.inst.Refresh(p.Problem) {
+		inst = opt.Warm.inst
+		warmHit = true
+	} else {
+		var err error
+		inst, err = lp.NewInstance(p.Problem)
+		if err != nil {
+			return Solution{}, err
+		}
+		if opt.Warm != nil {
+			opt.Warm.inst = inst
+		}
+	}
+	minSense := func(v float64) float64 {
+		if p.Maximize {
+			return -v
+		}
+		return v
+	}
+	startPivots := inst.Pivots()
+
+	integer := make([]bool, p.NumVars)
+	copy(integer, p.Integer)
+
+	res := Solution{Status: lp.Infeasible, Objective: math.Inf(1), WarmHit: warmHit}
+	incumbent := math.Inf(1)
+	var bestX []float64
+
+	q := &nodeQueue{}
+	heap.Push(q, &node{bound: math.Inf(-1)})
+	sawUnbounded := false
+	var xScratch []float64
+
+	for q.Len() > 0 && res.Nodes < maxNodes {
+		nd := heap.Pop(q).(*node)
+		// Bound prune: best-first means the popped bound is the global
+		// minimum outstanding, so if it is already worse than the incumbent
+		// — absolutely, or within the requested relative gap — we are done.
+		if nd.bound >= incumbent-intTol {
+			res.Proven = true
+			break
+		}
+		if opt.Gap > 0 && !math.IsInf(incumbent, 1) && relGap(incumbent, nd.bound) <= opt.Gap {
+			res.Proven = true
+			break
+		}
+		res.Nodes++
+
+		inst.ResetBounds()
+		for _, c := range nd.changes {
+			lo, hi := inst.Bounds(int(c.v))
+			if c.upper {
+				if c.val < hi {
+					hi = c.val
+				}
+			} else {
+				if c.val > lo {
+					lo = c.val
+				}
+			}
+			inst.SetBound(int(c.v), lo, hi)
+		}
+		st, err := inst.SolveCurrent()
+		if err != nil {
+			return Solution{}, err
+		}
+		switch st {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			// The relaxation is unbounded. If the root is unbounded the
+			// MIP may be unbounded or infeasible; record and continue
+			// (branching cannot bound a truly unbounded integer problem,
+			// so report it).
+			sawUnbounded = true
+			continue
+		}
+		obj := minSense(inst.ObjectiveValue())
+		if obj >= incumbent-intTol {
+			continue
+		}
+		xScratch = inst.Values(xScratch)
+		// Find the most fractional integer variable.
+		branchVar := -1
+		worst := intTol
+		for i := 0; i < p.NumVars; i++ {
+			if !integer[i] {
+				continue
+			}
+			frac := math.Abs(xScratch[i] - math.Round(xScratch[i]))
+			if frac > worst {
+				worst = frac
+				branchVar = i
+			}
+		}
+		if branchVar < 0 {
+			// Integer feasible: new incumbent.
+			incumbent = obj
+			res.Status = lp.Optimal
+			bestX = append(bestX[:0], xScratch...)
+			res.Objective = obj
+			if opt.Gap > 0 && q.Len() > 0 {
+				best := (*q)[0].bound
+				if relGap(incumbent, best) <= opt.Gap {
+					res.Proven = true
+					break
+				}
+			}
+			continue
+		}
+		// Branch by bound tightening. The parent's change list is the
+		// shared prefix; the full-capacity append goes to the left child
+		// and the right child reallocates, so siblings never alias.
+		v := xScratch[branchVar]
+		left := append(nd.changes[:len(nd.changes):len(nd.changes)],
+			bchange{v: int32(branchVar), upper: true, val: math.Floor(v)})
+		right := append(nd.changes[:len(nd.changes):len(nd.changes)],
+			bchange{v: int32(branchVar), upper: false, val: math.Ceil(v)})
+		heap.Push(q, &node{bound: obj, changes: left})
+		heap.Push(q, &node{bound: obj, changes: right})
+	}
+	if q.Len() == 0 {
+		res.Proven = true
+	}
+	if res.Status == lp.Optimal {
+		res.X = roundIntegers(bestX, integer)
+	}
+	if res.Status != lp.Optimal && sawUnbounded {
+		res.Status = lp.Unbounded
+		res.Proven = false
+	}
+	res.Pivots = inst.Pivots() - startPivots
+	// Leave the instance at the root relaxation bounds so a warm successor
+	// refreshes against the unbranched problem.
+	inst.ResetBounds()
+	return finish(res, p), nil
+}
+
+// solveReference is the legacy branch and bound: each branching decision
+// appends a constraint row and every node re-solves cold with the dense
+// Bland-rule reference simplex. Kept as the differential-test oracle.
+func solveReference(p Problem, opt Options) (Solution, error) {
 	maxNodes := opt.MaxNodes
 	if maxNodes <= 0 {
 		maxNodes = 200000
@@ -98,15 +290,17 @@ func Solve(p Problem, opt Options) (Solution, error) {
 	res := Solution{Status: lp.Infeasible, Objective: math.Inf(1)}
 	incumbent := math.Inf(1)
 
-	q := &nodeQueue{}
-	heap.Push(q, &node{bound: math.Inf(-1)})
+	q := &refQueue{}
+	heap.Push(q, &refNode{bound: math.Inf(-1)})
 	sawUnbounded := false
 
 	for q.Len() > 0 && res.Nodes < maxNodes {
-		nd := heap.Pop(q).(*node)
-		// Bound prune: best-first means if this node's bound is already
-		// worse than the incumbent we are done globally.
+		nd := heap.Pop(q).(*refNode)
 		if nd.bound >= incumbent-intTol {
+			res.Proven = true
+			break
+		}
+		if opt.Gap > 0 && !math.IsInf(incumbent, 1) && relGap(incumbent, nd.bound) <= opt.Gap {
 			res.Proven = true
 			break
 		}
@@ -114,25 +308,21 @@ func Solve(p Problem, opt Options) (Solution, error) {
 
 		sub := base
 		sub.Constraints = append(append([]lp.Constraint(nil), base.Constraints...), nd.extras...)
-		sol, err := lp.Solve(sub)
+		sol, err := lp.SolveReference(sub)
 		if err != nil {
 			return Solution{}, err
 		}
+		res.Pivots += sol.Pivots
 		switch sol.Status {
 		case lp.Infeasible:
 			continue
 		case lp.Unbounded:
-			// The relaxation is unbounded. If the root is unbounded the
-			// MIP may be unbounded or infeasible; record and continue
-			// (branching cannot bound a truly unbounded integer problem,
-			// so report it).
 			sawUnbounded = true
 			continue
 		}
 		if sol.Objective >= incumbent-intTol {
 			continue
 		}
-		// Find the most fractional integer variable.
 		branchVar := -1
 		worst := intTol
 		for i := 0; i < p.NumVars; i++ {
@@ -146,7 +336,6 @@ func Solve(p Problem, opt Options) (Solution, error) {
 			}
 		}
 		if branchVar < 0 {
-			// Integer feasible: new incumbent.
 			incumbent = sol.Objective
 			res.Status = lp.Optimal
 			res.X = roundIntegers(sol.X, integer)
@@ -160,7 +349,6 @@ func Solve(p Problem, opt Options) (Solution, error) {
 			}
 			continue
 		}
-		// Branch.
 		v := sol.X[branchVar]
 		down := make([]float64, branchVar+1)
 		down[branchVar] = 1
@@ -168,8 +356,8 @@ func Solve(p Problem, opt Options) (Solution, error) {
 			lp.Constraint{Coeffs: down, Sense: lp.LE, RHS: math.Floor(v)})
 		right := append(append([]lp.Constraint(nil), nd.extras...),
 			lp.Constraint{Coeffs: down, Sense: lp.GE, RHS: math.Ceil(v)})
-		heap.Push(q, &node{bound: sol.Objective, extras: left})
-		heap.Push(q, &node{bound: sol.Objective, extras: right})
+		heap.Push(q, &refNode{bound: sol.Objective, extras: left})
+		heap.Push(q, &refNode{bound: sol.Objective, extras: right})
 	}
 	if q.Len() == 0 {
 		res.Proven = true
@@ -179,6 +367,27 @@ func Solve(p Problem, opt Options) (Solution, error) {
 		res.Proven = false
 	}
 	return finish(res, p), nil
+}
+
+// refNode is the legacy subproblem representation: extra constraint rows.
+type refNode struct {
+	bound  float64
+	extras []lp.Constraint
+}
+
+// refQueue is the best-first priority queue for the legacy path.
+type refQueue []*refNode
+
+func (q refQueue) Len() int            { return len(q) }
+func (q refQueue) Less(i, j int) bool  { return q[i].bound < q[j].bound }
+func (q refQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *refQueue) Push(x interface{}) { *q = append(*q, x.(*refNode)) }
+func (q *refQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
 }
 
 // finish converts the internal minimization value back to the problem's own

@@ -94,6 +94,17 @@ func TestObservedRunReconciles(t *testing.T) {
 	if _, ok := back.Histograms["mip.solve"]; !ok {
 		t.Error("manifest lost the mip.solve histogram")
 	}
+	// Solver-health counters from the warm-started simplex core.
+	if back.Counters["lp.pivots"] <= 0 {
+		t.Errorf("manifest lp.pivots = %v, want > 0", back.Counters["lp.pivots"])
+	}
+	hits, misses := back.Counters["mip.warmstart.hits"], back.Counters["mip.warmstart.misses"]
+	if misses <= 0 {
+		t.Errorf("manifest mip.warmstart.misses = %v, want > 0 (first solve per app is a miss)", misses)
+	}
+	if hits+misses != back.Counters["mip.solves"] && back.Counters["mip.solves"] > 0 {
+		t.Logf("warmstart hits %v + misses %v vs solves %v", hits, misses, back.Counters["mip.solves"])
+	}
 }
 
 // TestFig4MigrationObs checks the single-site cluster path (what vbsim

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -31,15 +32,32 @@ func main() {
 		days       = flag.Int("days", 14, "days of power used for ranking")
 		seed       = flag.Uint64("seed", vb.DefaultSeed, "random seed")
 		metricsOut = flag.String("metrics", "", "write a ranking manifest (metrics JSON) to this file")
+		listenAddr = flag.String("listen", "", "serve live telemetry (/metrics, /snapshot, /events, pprof) on this address (e.g. localhost:8090)")
 		parallel   = flag.Int("parallel", 0, "worker goroutines for trace generation and ranking (0 = all cores, 1 = serial; output is identical)")
 	)
 	flag.Parse()
 	vb.SetParallelism(*parallel)
 
 	var reg *vb.MetricsRegistry
-	if *metricsOut != "" {
+	if *metricsOut != "" || *listenAddr != "" {
 		reg = vb.NewMetrics()
 	}
+	var telemetry *vb.TelemetryServer
+	if *listenAddr != "" {
+		srv, err := vb.ServeTelemetry(*listenAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		telemetry = srv
+		log.Printf("telemetry on http://%s/ (/metrics /snapshot /events /debug/pprof/)", srv.Addr())
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := telemetry.Shutdown(ctx); err != nil {
+			log.Printf("telemetry shutdown: %v", err)
+		}
+	}()
 
 	fleet := vb.EuropeanFleet(0)
 	g, err := vb.NewGraph(fleet, *latency)

@@ -79,12 +79,13 @@ func main() {
 	if *traceOut != "" || *metricsOut != "" {
 		reg = vb.NewMetrics()
 	}
+	var traceFile *os.File
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
+		traceFile = f
 		reg.Tracer().SetSink(f)
 	}
 
@@ -119,8 +120,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := reg.Tracer().Err(); err != nil {
-		log.Fatalf("writing trace: %v", err)
+	if err := vb.FinishTraceSink(reg, traceFile); err != nil {
+		log.Fatalf("trace sink failed, events lost: %v", err)
 	}
 	if *metricsOut != "" {
 		m := reg.Manifest()

@@ -44,12 +44,13 @@ func main() {
 	if *traceOut != "" || *metricsOut != "" {
 		reg = vb.NewMetrics()
 	}
+	var traceFile *os.File
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
+		traceFile = f
 		reg.Tracer().SetSink(f)
 	}
 
@@ -79,8 +80,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := reg.Tracer().Err(); err != nil {
-		log.Fatalf("writing trace: %v", err)
+	if err := vb.FinishTraceSink(reg, traceFile); err != nil {
+		log.Fatalf("trace sink failed, events lost: %v", err)
 	}
 	if *metricsOut != "" {
 		m := reg.Manifest()
@@ -115,6 +116,10 @@ func main() {
 		return
 	}
 	fmt.Print(res.Report())
+	if h, ok := reg.Histogram("mip.solve"); ok && h.Count > 0 {
+		fmt.Printf("  solver: %d solves  p50=%.2fms  p95=%.2fms  p99=%.2fms  max=%.2fms\n",
+			h.Count, h.Quantile(0.50)*1e3, h.Quantile(0.95)*1e3, h.Quantile(0.99)*1e3, h.Max*1e3)
+	}
 	if *chart {
 		cdfs, err := vb.Fig7CDFs(res)
 		if err != nil {

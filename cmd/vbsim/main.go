@@ -12,12 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"time"
 
 	vb "github.com/vbcloud/vb"
 )
@@ -34,6 +36,7 @@ func main() {
 		chart      = flag.Bool("chart", false, "render the Fig 4a timeline as an ASCII chart")
 		traceOut   = flag.String("trace", "", "write structured run events to this JSONL file")
 		metricsOut = flag.String("metrics", "", "write the run manifest (metrics JSON) to this file")
+		listenAddr = flag.String("listen", "", "serve live telemetry (/metrics, /snapshot, /events, pprof) on this address (e.g. localhost:8090)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		parallel   = flag.Int("parallel", 0, "worker goroutines for generation and experiments (0 = all cores, 1 = serial; output is identical)")
 		runAll     = flag.Bool("all", false, "regenerate every figure and table of the evaluation and exit")
@@ -68,24 +71,41 @@ func main() {
 	}
 
 	var reg *vb.MetricsRegistry
-	if *traceOut != "" || *metricsOut != "" {
+	if *traceOut != "" || *metricsOut != "" || *listenAddr != "" {
 		reg = vb.NewMetrics()
 	}
+	var traceFile *os.File
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
+		traceFile = f
 		reg.Tracer().SetSink(f)
 	}
+	var telemetry *vb.TelemetryServer
+	if *listenAddr != "" {
+		srv, err := vb.ServeTelemetry(*listenAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		telemetry = srv
+		log.Printf("telemetry on http://%s/ (/metrics /snapshot /events /debug/pprof/)", srv.Addr())
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := telemetry.Shutdown(ctx); err != nil {
+			log.Printf("telemetry shutdown: %v", err)
+		}
+	}()
 
 	res, err := vb.Fig4MigrationObs(*seed, src, *days, reg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := reg.Tracer().Err(); err != nil {
-		log.Fatalf("writing trace: %v", err)
+	if err := vb.FinishTraceSink(reg, traceFile); err != nil {
+		log.Fatalf("trace sink failed, events lost: %v", err)
 	}
 	if *metricsOut != "" {
 		m := reg.Manifest()
@@ -125,5 +145,9 @@ func main() {
 	}
 	link := 200.0
 	fmt.Printf("  utilization mean: %.1f%%\n", res.Run.Utilization.Mean()*100)
+	if h, ok := reg.Histogram("cluster.step_out_gb"); ok && h.Count > 0 {
+		fmt.Printf("  per-step out-GB quantiles: p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
+			h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max)
+	}
 	fmt.Printf("  at %.0f Gb/s per-site WAN: see `go test -bench=BenchmarkWANBusyFraction`\n", link)
 }

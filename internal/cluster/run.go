@@ -116,6 +116,21 @@ func RunObs(cfg Config, power trace.Series, vms []workload.VM, warmup int, reg *
 		Utilization: trace.New(power.Start, power.Step, power.Len()),
 		Steps:       make([]StepResult, power.Len()),
 	}
+	// Dimensional breakdowns: traffic by direction, VM churn by kind, and
+	// arrivals by workload class. Everything — including vec creation and
+	// the class tally — stays behind the reg guard so the unobserved path
+	// (what the Fig 4a allocation benchmark measures) is untouched.
+	var traffic, churn *obs.CounterVec
+	if reg != nil {
+		traffic = reg.NewCounterVec("cluster.traffic_gb", "dir")
+		churn = reg.NewCounterVec("cluster.vm_events", "kind")
+		arrivals := reg.NewCounterVec("cluster.vm_arrivals", "class")
+		for i := range buckets {
+			for _, vm := range buckets[i] {
+				arrivals.Inc(vm.Class.String())
+			}
+		}
+	}
 	for i := 0; i < total; i++ {
 		now := warmStart.Add(time.Duration(i) * power.Step)
 		frac := 1.0
@@ -132,6 +147,14 @@ func RunObs(cfg Config, power trace.Series, vms []workload.VM, warmup int, reg *
 			if reg != nil {
 				reg.Observe("cluster.step_out_gb", step.OutGB)
 				reg.Observe("cluster.step_in_gb", step.InGB)
+				traffic.Add(step.OutGB, "out")
+				traffic.Add(step.InGB, "in")
+				if step.Evicted != 0 {
+					churn.Add(float64(step.Evicted), "evicted")
+				}
+				if step.Launched != 0 {
+					churn.Add(float64(step.Launched), "launched")
+				}
 				if step.OutGB != 0 || step.InGB != 0 || step.Evicted != 0 || step.Launched != 0 {
 					reg.Emit(obs.Event{Type: obs.SiteStep, Step: j, App: -1, Site: 0, Dst: -1,
 						Cores: float64(step.Evicted + step.Launched), GB: step.OutGB + step.InGB})

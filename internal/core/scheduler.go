@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"github.com/vbcloud/vb/internal/lp"
@@ -28,6 +29,46 @@ type Scheduler struct {
 	// constant, so successive replans are structurally identical LPs).
 	warm     map[int]*warmEntry
 	warmTick int64
+	// vecs holds the per-policy/per-app dimensional metrics; the zero value
+	// (no registry) is inert.
+	vecs schedVecs
+}
+
+// schedVecs bundles the scheduler's dimensional metrics with the policy
+// label they share and a cache of app-ID label strings. With no registry
+// every vec field is nil and recording no-ops, so instrumented paths need
+// no extra branching beyond the existing reg != nil guards.
+type schedVecs struct {
+	policy     string
+	apps       map[int]string
+	solve      *obs.HistogramVec
+	warmstart  *obs.CounterVec
+	placements *obs.CounterVec
+}
+
+func newSchedVecs(cfg Config) schedVecs {
+	if cfg.Obs == nil {
+		return schedVecs{}
+	}
+	return schedVecs{
+		policy:     cfg.Policy.String(),
+		apps:       map[int]string{},
+		solve:      cfg.Obs.NewHistogramVec("mip.solve.by_app", nil, "policy", "app"),
+		warmstart:  cfg.Obs.NewCounterVec("mip.warmstart.by_app", "policy", "app", "result"),
+		placements: cfg.Obs.NewCounterVec("scheduler.placements.by_app", "policy", "app"),
+	}
+}
+
+// app returns the cached label string for an app ID. The scheduler is
+// single-goroutine (it mutates commitment ledgers), so the cache needs no
+// lock; it keeps repeat placements from re-formatting the ID.
+func (v *schedVecs) app(id int) string {
+	s, ok := v.apps[id]
+	if !ok {
+		s = strconv.Itoa(id)
+		v.apps[id] = s
+	}
+	return s
 }
 
 // warmEntry pairs an app's carried solver state with a last-use tick for
@@ -54,7 +95,7 @@ func NewScheduler(cfg Config, numSites, steps int) (*Scheduler, error) {
 	if steps <= 0 {
 		return nil, fmt.Errorf("core: non-positive step count %d", steps)
 	}
-	s := &Scheduler{cfg: cfg, numSites: numSites, steps: steps}
+	s := &Scheduler{cfg: cfg, numSites: numSites, steps: steps, vecs: newSchedVecs(cfg)}
 	s.committed = make([][]float64, numSites)
 	for i := range s.committed {
 		s.committed[i] = make([]float64, steps)
@@ -118,6 +159,9 @@ type CapacityFn func(site, step int) float64
 func (s *Scheduler) Place(app AppDemand, nowStep, endStep int, predCap, stableCap CapacityFn, prev []float64, prevPlan [][]float64) (Plan, error) {
 	defer obs.Time(s.cfg.Obs, "scheduler.place")()
 	s.cfg.Obs.Inc("scheduler.placements")
+	if s.cfg.Obs != nil {
+		s.vecs.placements.Inc(s.vecs.policy, s.vecs.app(app.ID))
+	}
 	if err := app.Validate(); err != nil {
 		return Plan{}, err
 	}
@@ -426,16 +470,21 @@ func (s *Scheduler) placeMIP(app AppDemand, nowStep, endStep int, predCap, stabl
 		reg.ObserveDuration("mip.solve", d)
 		reg.Add("mip.nodes", float64(sol.Nodes))
 		reg.Add("lp.pivots", float64(sol.Pivots))
+		warmth := "cold"
 		if ws != nil {
 			if sol.WarmHit {
+				warmth = "warm"
 				reg.Inc("mip.warmstart.hits")
 			} else {
 				reg.Inc("mip.warmstart.misses")
 			}
 		}
+		appLabel := s.vecs.app(app.ID)
+		s.vecs.solve.Observe(d.Seconds(), s.vecs.policy, appLabel)
+		s.vecs.warmstart.Inc(s.vecs.policy, appLabel, warmth)
 		if err == nil && sol.Status == lp.Optimal {
 			reg.Emit(obs.Event{Type: obs.MIPSolveFinish, Step: nowStep, App: app.ID, Site: -1, Dst: -1,
-				Cores: demand, DurNS: d.Nanoseconds(), Objective: sol.Objective})
+				Cores: demand, DurNS: d.Nanoseconds(), Objective: sol.Objective, Detail: warmth})
 		} else {
 			reg.Inc("mip.failures")
 		}

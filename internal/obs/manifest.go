@@ -6,50 +6,23 @@ import (
 )
 
 // Manifest is the JSON-serializable summary of one observed run: metadata
-// set by the caller (seed, policy, fleet) plus everything the registry and
-// tracer accumulated. It is what the CLIs' -metrics flags write.
+// set by the caller (seed, policy, fleet) plus the full registry snapshot
+// — flat metrics, dimensional vecs, and exact per-event-type totals. It is
+// what the CLIs' -metrics flags write. The snapshot is embedded, so its
+// fields serialize flat and manifests written before vecs existed still
+// decode.
 type Manifest struct {
-	Seed       uint64                       `json:"seed,omitempty"`
-	Policy     string                       `json:"policy,omitempty"`
-	Fleet      []string                     `json:"fleet,omitempty"`
-	Labels     map[string]string            `json:"labels,omitempty"`
-	Counters   map[string]float64           `json:"counters,omitempty"`
-	Gauges     map[string]float64           `json:"gauges,omitempty"`
-	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
-	// Events aggregates per-event-type counts and exact GB/core totals.
-	Events map[EventType]TypeStats `json:"events,omitempty"`
+	Seed   uint64   `json:"seed,omitempty"`
+	Policy string   `json:"policy,omitempty"`
+	Fleet  []string `json:"fleet,omitempty"`
+	RegistrySnapshot
 }
 
 // Manifest snapshots the registry (and its tracer) into a Manifest. The
 // caller fills Seed, Policy and Fleet. A nil registry yields a zero
 // manifest.
 func (r *Registry) Manifest() Manifest {
-	if r == nil {
-		return Manifest{}
-	}
-	r.mu.Lock()
-	m := Manifest{
-		Labels:     make(map[string]string, len(r.labels)),
-		Counters:   make(map[string]float64, len(r.counters)),
-		Gauges:     make(map[string]float64, len(r.gauges)),
-		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
-	}
-	for k, v := range r.labels {
-		m.Labels[k] = v
-	}
-	for k, v := range r.counters {
-		m.Counters[k] = v
-	}
-	for k, v := range r.gauges {
-		m.Gauges[k] = v
-	}
-	for k, h := range r.hists {
-		m.Histograms[k] = h.snapshot()
-	}
-	tr := r.tracer
-	r.mu.Unlock()
-	m.Events = tr.AllStats()
-	return m
+	return Manifest{RegistrySnapshot: r.Snapshot()}
 }
 
 // WriteJSON writes the manifest as indented JSON.

@@ -1,0 +1,55 @@
+package obs
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the recorded
+// distribution by locating the bucket containing the target rank and
+// interpolating linearly within it. The estimate is clamped to the exact
+// observed [Min, Max] range, so Quantile(0) == Min and Quantile(1) == Max,
+// and single-observation histograms report that observation at every q.
+// An empty snapshot returns 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	// rank is the (1-based, fractional) position of the quantile in the
+	// sorted observation sequence.
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		// The rank lands in bucket i, spanning (lo, hi].
+		var lo, hi float64
+		switch {
+		case i >= len(s.Bounds):
+			// Overflow bucket: everything above the last bound. The only
+			// honest upper edge is the observed max.
+			lo, hi = s.Bounds[len(s.Bounds)-1], s.Max
+		case i == 0:
+			lo, hi = s.Min, s.Bounds[0]
+		default:
+			lo, hi = s.Bounds[i-1], s.Bounds[i]
+		}
+		v := lo + (hi-lo)*(rank-float64(cum))/float64(c)
+		// Bucket edges are coarser than the data: never report outside the
+		// exact observed range.
+		if v < s.Min {
+			v = s.Min
+		}
+		if v > s.Max {
+			v = s.Max
+		}
+		return v
+	}
+	return s.Max
+}

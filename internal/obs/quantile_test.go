@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	r := NewRegistry()
+	r.NewHistogram("h", []float64{10, 20})
+	r.Observe("h", 15)
+	s, _ := r.Histogram("h")
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 15 {
+			t.Errorf("single-observation Quantile(%v) = %v, want 15", q, got)
+		}
+	}
+}
+
+func TestQuantileClampsToObservedRange(t *testing.T) {
+	r := NewRegistry()
+	r.NewHistogram("h", []float64{100})
+	// Both observations land in the first bucket (-inf, 100], whose
+	// interpolation span is [Min, 100]; results must stay within [3, 7].
+	r.Observe("h", 3)
+	r.Observe("h", 7)
+	s, _ := r.Histogram("h")
+	if got := s.Quantile(0); got != 3 {
+		t.Errorf("Quantile(0) = %v, want Min 3", got)
+	}
+	if got := s.Quantile(1); got != 7 {
+		t.Errorf("Quantile(1) = %v, want Max 7", got)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		if got := s.Quantile(q); got < 3 || got > 7 {
+			t.Errorf("Quantile(%v) = %v, outside observed [3, 7]", q, got)
+		}
+	}
+}
+
+func TestQuantileInterpolatesWithinBucket(t *testing.T) {
+	r := NewRegistry()
+	r.NewHistogram("h", []float64{1, 2, 4})
+	// 4 observations, one per bucket incl. overflow: min 0.5, max 8.
+	for _, v := range []float64{0.5, 1.5, 3, 8} {
+		r.Observe("h", v)
+	}
+	s, _ := r.Histogram("h")
+	// rank(0.5)=2 lands at the top of bucket (1,2]: lo+(hi-lo)*(2-1)/1 = 2.
+	if got := s.Quantile(0.5); got != 2 {
+		t.Errorf("Quantile(0.5) = %v, want 2", got)
+	}
+	// rank(0.75)=3 tops bucket (2,4]: 4.
+	if got := s.Quantile(0.75); got != 4 {
+		t.Errorf("Quantile(0.75) = %v, want 4", got)
+	}
+	// rank(0.9)=3.6 is 0.6 into the overflow bucket (4, Max=8]: 4+4*0.6.
+	if got, want := s.Quantile(0.9), 4+4*0.6; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Quantile(0.9) = %v, want %v", got, want)
+	}
+	// Monotone in q.
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: q=%v gives %v after %v", q, v, prev)
+		}
+		prev = v
+	}
+}

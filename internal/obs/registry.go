@@ -84,6 +84,9 @@ type Registry struct {
 	gauges   map[string]float64
 	hists    map[string]*histogram
 	labels   map[string]string
+	cvecs    map[string]*CounterVec
+	gvecs    map[string]*GaugeVec
+	hvecs    map[string]*HistogramVec
 	tracer   *Tracer
 }
 
@@ -95,6 +98,9 @@ func NewRegistry() *Registry {
 		gauges:   map[string]float64{},
 		hists:    map[string]*histogram{},
 		labels:   map[string]string{},
+		cvecs:    map[string]*CounterVec{},
+		gvecs:    map[string]*GaugeVec{},
+		hvecs:    map[string]*HistogramVec{},
 		tracer:   NewTracer(0),
 	}
 }

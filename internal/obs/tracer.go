@@ -1,8 +1,11 @@
 package obs
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"sync"
 )
@@ -204,18 +207,55 @@ func (t *Tracer) Err() error {
 	return t.sinkErr
 }
 
-// ReadEvents decodes a JSONL event stream written by a Tracer sink.
+// ParseError reports a malformed line in a JSONL event stream, positioned
+// by 1-based line number and the byte offset of the line's start.
+type ParseError struct {
+	// Line is the 1-based line number of the bad record.
+	Line int
+	// Offset is the byte offset of the start of the bad line.
+	Offset int64
+	// Err is the underlying decode error (or a truncation description).
+	Err error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("trace line %d (byte %d): %v", e.Line, e.Offset, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// ReadEvents decodes a JSONL event stream written by a Tracer sink. It is
+// resilient to truncated or corrupt trailing records — a crash mid-write
+// leaves a partial last line — returning every event decoded before the
+// bad record together with a *ParseError locating it. Callers that only
+// care about the recoverable prefix can use the events and log the error.
 func ReadEvents(r io.Reader) ([]Event, error) {
-	dec := json.NewDecoder(r)
+	br := bufio.NewReader(r)
 	var out []Event
-	for {
-		var e Event
-		if err := dec.Decode(&e); err != nil {
+	var offset int64
+	for line := 1; ; line++ {
+		raw, err := br.ReadBytes('\n')
+		if len(raw) > 0 {
+			trimmed := bytes.TrimSpace(raw)
+			if len(trimmed) > 0 {
+				var e Event
+				if derr := json.Unmarshal(trimmed, &e); derr != nil {
+					if err != nil && !errors.Is(err, io.EOF) {
+						derr = fmt.Errorf("%w (after read error: %v)", derr, err)
+					} else if err != nil {
+						derr = fmt.Errorf("truncated record: %w", derr)
+					}
+					return out, &ParseError{Line: line, Offset: offset, Err: derr}
+				}
+				out = append(out, e)
+			}
+		}
+		offset += int64(len(raw))
+		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return out, nil
 			}
-			return out, err
+			return out, &ParseError{Line: line, Offset: offset, Err: err}
 		}
-		out = append(out, e)
 	}
 }

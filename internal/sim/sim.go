@@ -183,6 +183,7 @@ func Run(cfg core.Config, in Input) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	vecs := newSimVecs(reg, cfg.Policy, numSites)
 	util := effectiveUtil(cfg)
 
 	res := Result{
@@ -338,6 +339,7 @@ func Run(cfg core.Config, in Input) (Result, error) {
 					res.OutBySite[src].Values[t] += gb
 					reg.Emit(obs.Event{Type: obs.PlannedRealloc, Step: t, App: a.demand.ID,
 						Site: src, Dst: dst, Cores: x, GB: gb})
+					vecs.plannedMove(a.demand.ID, src, dst, gb)
 				}
 			}
 		}
@@ -380,6 +382,7 @@ func Run(cfg core.Config, in Input) (Result, error) {
 					res.OutBySite[s].Values[t] += gb
 					reg.Emit(obs.Event{Type: obs.ForcedMigration, Step: t, App: a.demand.ID,
 						Site: s, Dst: d, Cores: x, GB: gb})
+					vecs.forcedMove(a.demand.ID, s, d, gb)
 				}
 				// Whatever could not move pauses in place: availability
 				// violation.
@@ -389,6 +392,7 @@ func Run(cfg core.Config, in Input) (Result, error) {
 					res.PerAppPaused[a.demand.ID] += rest
 					reg.Emit(obs.Event{Type: obs.StablePause, Step: t, App: a.demand.ID,
 						Site: s, Dst: -1, Cores: rest})
+					vecs.pause(a.demand.ID, s, rest)
 				}
 				over -= move
 			}
@@ -420,6 +424,7 @@ func Run(cfg core.Config, in Input) (Result, error) {
 				res.PerAppPaused[a.demand.ID] += gap
 				reg.Emit(obs.Event{Type: obs.Shortfall, Step: t, App: a.demand.ID,
 					Site: -1, Dst: -1, Cores: gap})
+				vecs.short(a.demand.ID, gap)
 			}
 			res.PerAppDemand[a.demand.ID] += a.demand.StableCores
 		}

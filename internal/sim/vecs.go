@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"strconv"
+
+	"github.com/vbcloud/vb/internal/core"
+	"github.com/vbcloud/vb/internal/obs"
+)
+
+// simVecs bundles the engine's dimensional metrics with the label strings
+// they share: the policy name, one precomputed label per site index, and a
+// lazily cached label per app ID. A nil *simVecs (no registry) makes every
+// record method a no-op, so the hot loop stays branch-light and — critical
+// for the nil-registry zero-allocation property — builds no label slices
+// at the call sites.
+type simVecs struct {
+	policy string
+	sites  []string
+	apps   map[int]string
+	// planned and forced break migration traffic down by directed
+	// src→dst site edge; transfer breaks it down by app.
+	planned  *obs.CounterVec
+	forced   *obs.CounterVec
+	transfer *obs.CounterVec
+	// paused attributes availability violations to the app and the site
+	// where the cores stalled; shortfall attributes unplaced demand to the
+	// app (no site: the plan never chose one).
+	paused    *obs.CounterVec
+	shortfall *obs.CounterVec
+}
+
+// newSimVecs returns nil when reg is nil, so callers hold one nil-check at
+// construction instead of one per emission.
+func newSimVecs(reg *obs.Registry, policy core.Policy, numSites int) *simVecs {
+	if reg == nil {
+		return nil
+	}
+	v := &simVecs{policy: policy.String(), apps: map[int]string{}}
+	v.sites = make([]string, numSites)
+	for i := range v.sites {
+		v.sites[i] = strconv.Itoa(i)
+	}
+	v.planned = reg.NewCounterVec("sim.planned_gb", "policy", "src", "dst")
+	v.forced = reg.NewCounterVec("sim.forced_gb", "policy", "src", "dst")
+	v.transfer = reg.NewCounterVec("sim.transfer_gb", "policy", "app")
+	v.paused = reg.NewCounterVec("sim.paused_core_steps", "policy", "app", "site")
+	v.shortfall = reg.NewCounterVec("sim.shortfall_core_steps", "policy", "app")
+	return v
+}
+
+func (v *simVecs) app(id int) string {
+	s, ok := v.apps[id]
+	if !ok {
+		s = strconv.Itoa(id)
+		v.apps[id] = s
+	}
+	return s
+}
+
+// plannedMove records one scheduler-initiated core move.
+func (v *simVecs) plannedMove(app, src, dst int, gb float64) {
+	if v == nil {
+		return
+	}
+	v.planned.Add(gb, v.policy, v.sites[src], v.sites[dst])
+	v.transfer.Add(gb, v.policy, v.app(app))
+}
+
+// forcedMove records one reactive power-shortfall migration.
+func (v *simVecs) forcedMove(app, src, dst int, gb float64) {
+	if v == nil {
+		return
+	}
+	v.forced.Add(gb, v.policy, v.sites[src], v.sites[dst])
+	v.transfer.Add(gb, v.policy, v.app(app))
+}
+
+// pause records stable cores pausing in place at a site.
+func (v *simVecs) pause(app, site int, cores float64) {
+	if v == nil {
+		return
+	}
+	v.paused.Add(cores, v.policy, v.app(app), v.sites[site])
+}
+
+// short records demanded stable cores the plan left unplaced.
+func (v *simVecs) short(app int, cores float64) {
+	if v == nil {
+		return
+	}
+	v.shortfall.Add(cores, v.policy, v.app(app))
+}
+
+// vmVecs is the VM-level engine's counterpart to simVecs. Moves from a
+// displaced state carry src = -1; they are labeled "none" so re-homes stay
+// distinguishable from site-to-site reconciles in the flow breakdown.
+type vmVecs struct {
+	policy  string
+	sites   []string
+	apps    map[int]string
+	moves   *obs.CounterVec
+	evicted *obs.CounterVec
+	failed  *obs.CounterVec
+}
+
+func newVMVecs(reg *obs.Registry, policy core.Policy, numSites int) *vmVecs {
+	if reg == nil {
+		return nil
+	}
+	v := &vmVecs{policy: policy.String(), apps: map[int]string{}}
+	v.sites = make([]string, numSites)
+	for i := range v.sites {
+		v.sites[i] = strconv.Itoa(i)
+	}
+	v.moves = reg.NewCounterVec("vmlevel.moves_gb", "policy", "src", "dst")
+	v.evicted = reg.NewCounterVec("vmlevel.evicted", "policy", "site")
+	v.failed = reg.NewCounterVec("vmlevel.failed_placements", "policy", "app")
+	return v
+}
+
+func (v *vmVecs) app(id int) string {
+	s, ok := v.apps[id]
+	if !ok {
+		s = strconv.Itoa(id)
+		v.apps[id] = s
+	}
+	return s
+}
+
+func (v *vmVecs) site(i int) string {
+	if i < 0 {
+		return "none"
+	}
+	return v.sites[i]
+}
+
+// move records one inter-site VM migration (src may be -1 for re-homes).
+func (v *vmVecs) move(src, dst int, gb float64) {
+	if v == nil {
+		return
+	}
+	v.moves.Add(gb, v.policy, v.site(src), v.sites[dst])
+}
+
+// evict records one power-driven VM eviction at a site.
+func (v *vmVecs) evict(site int) {
+	if v == nil {
+		return
+	}
+	v.evicted.Inc(v.policy, v.sites[site])
+}
+
+// fail records one VM-step where a stable VM could not run anywhere.
+func (v *vmVecs) fail(app int) {
+	if v == nil {
+		return
+	}
+	v.failed.Inc(v.policy, v.app(app))
+}

@@ -69,6 +69,7 @@ func RunVMLevel(cfg core.Config, in Input, apps []workload.App, clusterCfg clust
 	if err != nil {
 		return VMLevelResult{}, err
 	}
+	vecs := newVMVecs(reg, cfg.Policy, numSites)
 	util := effectiveUtil(cfg)
 
 	sites := make([]*cluster.Site, numSites)
@@ -134,6 +135,7 @@ func RunVMLevel(cfg core.Config, in Input, apps []workload.App, clusterCfg clust
 				vmSite[vm.ID] = -1
 				reg.Emit(obs.Event{Type: obs.VMEvicted, Step: t, App: vm.AppID, Site: sIdx, Dst: -1,
 					VM: vm.ID, Cores: float64(vm.Cores), GB: float64(vm.MemoryGB)})
+				vecs.evict(sIdx)
 			}
 		}
 
@@ -177,7 +179,7 @@ func RunVMLevel(cfg core.Config, in Input, apps []workload.App, clusterCfg clust
 			if !st.started || t >= st.endStep || st.plan.Alloc == nil {
 				continue
 			}
-			res.reconcile(st.vms, st.plan, t, sites, vmSite, reg)
+			res.reconcile(st.vms, st.plan, t, sites, vmSite, reg, vecs)
 		}
 
 		// 4. Re-home displaced VMs and start never-placed VMs at their
@@ -203,6 +205,7 @@ func RunVMLevel(cfg core.Config, in Input, apps []workload.App, clusterCfg clust
 						res.Moves++
 						reg.Emit(obs.Event{Type: obs.VMMoved, Step: t, App: vm.AppID, Site: -1,
 							Dst: placed, VM: vm.ID, Cores: float64(vm.Cores), GB: gb, Detail: "rehome"})
+						vecs.move(-1, placed, gb)
 					}
 					vmSite[vm.ID] = placed
 				} else {
@@ -210,6 +213,7 @@ func RunVMLevel(cfg core.Config, in Input, apps []workload.App, clusterCfg clust
 					reg.Inc("sim.vmlevel.failed_placements")
 					reg.Emit(obs.Event{Type: obs.VMPlacementFail, Step: t, App: vm.AppID, Site: -1, Dst: -1,
 						VM: vm.ID, Cores: float64(vm.Cores)})
+					vecs.fail(vm.AppID)
 				}
 			}
 		}
@@ -240,7 +244,7 @@ func RunVMLevel(cfg core.Config, in Input, apps []workload.App, clusterCfg clust
 
 // reconcile moves an app's VMs between sites until per-site core sums are
 // within one VM of the plan, charging traffic for each move.
-func (r *VMLevelResult) reconcile(vms []workload.VM, plan core.Plan, t int, sites []*cluster.Site, vmSite map[int]int, reg *obs.Registry) {
+func (r *VMLevelResult) reconcile(vms []workload.VM, plan core.Plan, t int, sites []*cluster.Site, vmSite map[int]int, reg *obs.Registry, vecs *vmVecs) {
 	numSites := len(sites)
 	cur := make([]float64, numSites)
 	bySite := make([][]workload.VM, numSites)
@@ -282,6 +286,7 @@ func (r *VMLevelResult) reconcile(vms []workload.VM, plan core.Plan, t int, site
 			r.Moves++
 			reg.Emit(obs.Event{Type: obs.VMMoved, Step: t, App: vm.AppID, Site: src, Dst: dst,
 				VM: vm.ID, Cores: float64(vm.Cores), GB: gb, Detail: "reconcile"})
+			vecs.move(src, dst, gb)
 		}
 	}
 }

@@ -11,6 +11,18 @@
 //
 //	go test -run '^$' -bench 'MIPSolve|Simplex' -benchmem ./... | \
 //	    go run ./scripts/benchjson -out BENCH.json
+//
+// Compare mode gates CI on a committed baseline: parse stdin as above,
+// then fail (exit 1) if any gated metric regressed more than -max-regress
+// against the same benchmark in the baseline file. Benchmarks are matched
+// by name with the -GOMAXPROCS suffix stripped, so a baseline recorded at
+// -8 still matches a run at -4. -require lists benchmarks that must be
+// present on stdin, catching a gate that silently stopped running.
+//
+//	go test -run '^$' -bench 'MIPSolve|Fig4a' -benchmem . | \
+//	    go run ./scripts/benchjson -compare BENCH_3.json \
+//	        -metrics allocs/op -max-regress 0.25 \
+//	        -require BenchmarkMIPSolve,BenchmarkFig4aMigrationTimeline
 package main
 
 import (
@@ -91,8 +103,81 @@ func parseLine(line string) (Benchmark, bool) {
 	return b, true
 }
 
+// baseName strips the -GOMAXPROCS suffix go test appends to benchmark
+// names ("BenchmarkMIPSolve-8" -> "BenchmarkMIPSolve").
+func baseName(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// compare gates f against the baseline: every gated metric present in both
+// runs of a benchmark may grow by at most maxRegress (fractional). It
+// returns human-readable failures, one per violated gate or missing
+// required benchmark.
+func compare(f, base File, metrics, require []string, maxRegress float64) []string {
+	baseline := map[string]Benchmark{}
+	for _, b := range base.Benchmarks {
+		baseline[baseName(b.Name)] = b
+	}
+	current := map[string]Benchmark{}
+	for _, b := range f.Benchmarks {
+		current[baseName(b.Name)] = b
+	}
+
+	var failures []string
+	for _, name := range require {
+		if _, ok := current[name]; !ok {
+			failures = append(failures, fmt.Sprintf("required benchmark %s missing from input", name))
+		}
+	}
+	for name, cur := range current {
+		ref, ok := baseline[name]
+		if !ok {
+			continue // new benchmark: nothing to gate against
+		}
+		for _, m := range metrics {
+			curV, okCur := cur.Metrics[m]
+			refV, okRef := ref.Metrics[m]
+			if !okCur || !okRef {
+				continue
+			}
+			limit := refV * (1 + maxRegress)
+			if curV > limit {
+				failures = append(failures, fmt.Sprintf(
+					"%s %s regressed: %.6g -> %.6g (limit %.6g, +%.0f%% allowed)",
+					name, m, refV, curV, limit, maxRegress*100))
+			} else {
+				fmt.Fprintf(os.Stderr, "benchjson: %s %s ok: %.6g vs baseline %.6g\n",
+					name, m, curV, refV)
+			}
+		}
+	}
+	return failures
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	comparePath := flag.String("compare", "", "baseline JSON to gate against (exit 1 on regression)")
+	metricsArg := flag.String("metrics", "allocs/op", "comma-separated metrics to gate in compare mode")
+	maxRegress := flag.Float64("max-regress", 0.25, "max allowed fractional regression per gated metric")
+	requireArg := flag.String("require", "", "comma-separated benchmark names (sans -N suffix) that must be present")
 	flag.Parse()
 
 	f, err := parse(os.Stdin)
@@ -104,6 +189,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+
+	if *comparePath != "" {
+		blob, err := os.ReadFile(*comparePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var base File
+		if err := json.Unmarshal(blob, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", *comparePath, err)
+			os.Exit(1)
+		}
+		failures := compare(f, base, splitList(*metricsArg), splitList(*requireArg), *maxRegress)
+		for _, msg := range failures {
+			fmt.Fprintln(os.Stderr, "benchjson: FAIL:", msg)
+		}
+		if len(failures) > 0 {
+			os.Exit(1)
+		}
+		if *out == "" {
+			return // gate-only invocation: no JSON dump wanted
+		}
+	}
+
 	blob, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

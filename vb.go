@@ -16,7 +16,9 @@
 package vb
 
 import (
+	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"github.com/vbcloud/vb/internal/cluster"
@@ -26,6 +28,7 @@ import (
 	"github.com/vbcloud/vb/internal/forecast"
 	"github.com/vbcloud/vb/internal/graph"
 	"github.com/vbcloud/vb/internal/obs"
+	"github.com/vbcloud/vb/internal/obs/expo"
 	"github.com/vbcloud/vb/internal/plot"
 	"github.com/vbcloud/vb/internal/sim"
 	"github.com/vbcloud/vb/internal/stats"
@@ -176,6 +179,26 @@ type (
 	RunManifest = obs.Manifest
 	// HistogramSnapshot is an immutable histogram state.
 	HistogramSnapshot = obs.HistogramSnapshot
+	// MetricsSnapshot is a serializable copy of a whole registry: flat
+	// metrics, dimensional vecs, and exact per-event-type totals.
+	MetricsSnapshot = obs.RegistrySnapshot
+	// CounterVec, GaugeVec and HistogramVec are dimensional metrics with
+	// ordered label sets (e.g. policy, site, app, class).
+	CounterVec   = obs.CounterVec
+	GaugeVec     = obs.GaugeVec
+	HistogramVec = obs.HistogramVec
+	// TraceAnalysis is the offline aggregate view of a recorded event
+	// stream (what cmd/vbobs prints); its per-type stats reconcile
+	// bit-exactly with the live tracer's.
+	TraceAnalysis = obs.TraceAnalysis
+	// TraceFlowKey identifies one directed src→dst edge of the analysis's
+	// migration flow matrix.
+	TraceFlowKey = obs.FlowKey
+	// TraceParseError locates a truncated or corrupt JSONL trace record.
+	TraceParseError = obs.ParseError
+	// TelemetryServer serves a live registry over HTTP (/metrics,
+	// /snapshot, /events, pprof).
+	TelemetryServer = expo.Server
 )
 
 // Trace event types emitted by the simulation pipeline.
@@ -207,7 +230,50 @@ func NewTracer(ring int) *Tracer { return obs.NewTracer(ring) }
 func TimeSpan(reg *MetricsRegistry, name string) func() { return obs.Time(reg, name) }
 
 // ReadTraceEvents decodes a JSONL event stream written by a tracer sink.
+// Truncated or corrupt trailing records return the events decoded so far
+// plus a *TraceParseError locating the bad line.
 func ReadTraceEvents(r io.Reader) ([]TraceEvent, error) { return obs.ReadEvents(r) }
+
+// AnalyzeTrace aggregates a recorded event stream: per-type/app/site
+// stats, the site×site migration flow matrix, exact solver percentiles,
+// and warm-start hit rates. On a complete stream the per-type stats
+// reconcile bit-exactly with the live tracer's.
+func AnalyzeTrace(events []TraceEvent) *TraceAnalysis { return obs.Analyze(events) }
+
+// ServeTelemetry starts an HTTP telemetry server for reg on addr
+// (host:port; port 0 picks a free one), serving Prometheus text at
+// /metrics, the JSON registry snapshot at /snapshot, buffered trace
+// events at /events, and pprof under /debug/pprof/. Stop it with
+// Shutdown. The returned server reports its bound address via Addr.
+func ServeTelemetry(addr string, reg *MetricsRegistry) (*TelemetryServer, error) {
+	srv := expo.NewServer(reg)
+	if _, err := srv.Start(addr); err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+// FinishTraceSink closes a -trace sink file after surfacing both failure
+// modes a JSONL sink has: a write error latched by the tracer mid-run and
+// an error from the final Close (buffered data can fail to flush). Pass
+// the registry whose tracer wrote to f; either may be nil.
+func FinishTraceSink(reg *MetricsRegistry, f *os.File) error {
+	var tracerErr error
+	if reg != nil {
+		tracerErr = reg.Tracer().Err()
+	}
+	var closeErr error
+	if f != nil {
+		closeErr = f.Close()
+	}
+	if tracerErr != nil {
+		return fmt.Errorf("trace sink write: %w", tracerErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("trace sink close: %w", closeErr)
+	}
+	return nil
+}
 
 // NewWorld returns an energy world with default correlation structure.
 func NewWorld(seed uint64) *World { return energy.NewWorld(seed) }

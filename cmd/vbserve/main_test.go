@@ -1,0 +1,263 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	vb "github.com/vbcloud/vb"
+)
+
+func testScenario(t *testing.T) *scenario {
+	t.Helper()
+	scn, err := buildScenario(42, 2, 6, vb.PolicyMIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scn
+}
+
+// driveHTTP sends the given operations to a daemon handler and returns the
+// decision log as served by /v1/decisions.
+func driveHTTP(t *testing.T, ts *httptest.Server, ops []requestOp) []byte {
+	t.Helper()
+	for _, op := range ops {
+		var resp *http.Response
+		var err error
+		switch op.Op {
+		case "arrive":
+			body, _ := json.Marshal(op.Arrival)
+			resp, err = http.Post(ts.URL+"/v1/arrive", "application/json", bytes.NewReader(body))
+		case "step":
+			resp, err = http.Post(ts.URL+"/v1/step", "application/json", nil)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode >= 300 {
+			msg, _ := io.ReadAll(resp.Body)
+			t.Fatalf("%s: HTTP %d: %s", op.Op, resp.StatusCode, msg)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/v1/decisions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	dec, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dec
+}
+
+// TestReplayMatchesHTTPDaemon pins the daemon's core determinism claim:
+// replaying the recorded request log offline and streaming the same log
+// through the HTTP daemon produce byte-identical decision logs.
+func TestReplayMatchesHTTPDaemon(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "requests.jsonl")
+	fullPath := filepath.Join(dir, "full.jsonl")
+
+	scn := testScenario(t)
+	f, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeRequestLog(f, scn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Offline replay.
+	if err := replayLog(testScenario(t), logPath, fullPath, "", "", 0); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := testScenario(t).in.Actual[0].Len()
+	if got := strings.Count(string(full), "\n"); got != steps {
+		t.Fatalf("decision log has %d lines, want %d", got, steps)
+	}
+
+	// HTTP daemon fed the same stream (fresh scenario = fresh process).
+	ops, err := readRequestLog(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{scn: testScenario(t)}
+	if d.eng, err = d.scn.newEngine(""); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+	served := driveHTTP(t, ts, ops)
+	if !bytes.Equal(served, full) {
+		t.Fatalf("HTTP decision log diverges from offline replay:\nhttp: %d bytes\nfull: %d bytes", len(served), len(full))
+	}
+}
+
+// TestSnapshotRestoreAcrossDaemons pins crash recovery end to end over the
+// HTTP surface: run a daemon halfway, download its snapshot, restore it
+// into a second daemon (a fresh scenario, standing in for a new process),
+// finish the stream there, and the concatenated decision logs must be
+// byte-identical to an uninterrupted run.
+func TestSnapshotRestoreAcrossDaemons(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "requests.jsonl")
+	fullPath := filepath.Join(dir, "full.jsonl")
+	snapPath := filepath.Join(dir, "snap.bin")
+
+	scn := testScenario(t)
+	f, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeRequestLog(f, scn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := replayLog(testScenario(t), logPath, fullPath, "", "", 0); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ops, err := readRequestLog(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split the stream at the midpoint step boundary.
+	mid := testScenario(t).in.Actual[0].Len() / 2
+	cut := 0
+	seen := 0
+	for i, op := range ops {
+		if op.Op == "step" {
+			if seen++; seen == mid {
+				cut = i + 1
+				break
+			}
+		}
+	}
+
+	// Daemon 1: first half, then snapshot via the HTTP API.
+	d1 := &daemon{scn: testScenario(t)}
+	if d1.eng, err = d1.scn.newEngine(""); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(d1.handler())
+	defer ts1.Close()
+	part1 := driveHTTP(t, ts1, ops[:cut])
+	resp, err := http.Get(ts1.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snapPath, snap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Daemon 2: restored from the snapshot, fed the remaining stream.
+	d2 := &daemon{scn: testScenario(t)}
+	if d2.eng, err = d2.scn.newEngine(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	if d2.eng.Step() != mid {
+		t.Fatalf("restored daemon at step %d, want %d", d2.eng.Step(), mid)
+	}
+	ts2 := httptest.NewServer(d2.handler())
+	defer ts2.Close()
+	part2 := driveHTTP(t, ts2, ops[cut:])
+
+	combined := append(append([]byte{}, part1...), part2...)
+	if !bytes.Equal(combined, full) {
+		t.Fatalf("snapshot/restore decision log diverges from uninterrupted run:\ncombined %d bytes, full %d bytes",
+			len(combined), len(full))
+	}
+}
+
+// TestReplaySnapshotAfterResume pins the CLI crash-recovery path: a replay
+// interrupted by -snapshot-after, resumed with -restore, concatenates to
+// the uninterrupted decision log byte-for-byte.
+func TestReplaySnapshotAfterResume(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "requests.jsonl")
+	fullPath := filepath.Join(dir, "full.jsonl")
+	part1Path := filepath.Join(dir, "part1.jsonl")
+	part2Path := filepath.Join(dir, "part2.jsonl")
+	snapPath := filepath.Join(dir, "snap.bin")
+
+	f, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeRequestLog(f, testScenario(t)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := replayLog(testScenario(t), logPath, fullPath, "", "", 0); err != nil {
+		t.Fatal(err)
+	}
+	mid := testScenario(t).in.Actual[0].Len() / 2
+	if err := replayLog(testScenario(t), logPath, part1Path, snapPath, "", mid); err != nil {
+		t.Fatal(err)
+	}
+	if err := replayLog(testScenario(t), logPath, part2Path, "", snapPath, 0); err != nil {
+		t.Fatal(err)
+	}
+	full, _ := os.ReadFile(fullPath)
+	p1, _ := os.ReadFile(part1Path)
+	p2, _ := os.ReadFile(part2Path)
+	if !bytes.Equal(append(append([]byte{}, p1...), p2...), full) {
+		t.Fatalf("resumed replay diverges: %d + %d bytes vs %d uninterrupted", len(p1), len(p2), len(full))
+	}
+}
+
+// TestStateEndpoint sanity-checks the status surface.
+func TestStateEndpoint(t *testing.T) {
+	d := &daemon{scn: testScenario(t)}
+	var err error
+	if d.eng, err = d.scn.newEngine(""); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var state map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&state); err != nil {
+		t.Fatal(err)
+	}
+	if state["policy"] != "MIP" || state["step"].(float64) != 0 || state["done"] != false {
+		t.Fatalf("unexpected state: %v", state)
+	}
+	// Telemetry surface answers too.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("/metrics: HTTP %d, %d bytes", mresp.StatusCode, len(body))
+	}
+}

@@ -1,0 +1,198 @@
+// The HTTP daemon: a mutex-guarded engine behind a small JSON API, plus
+// the obs-v2 telemetry surface (Prometheus metrics, registry snapshots,
+// live event stream, pprof) mounted from the run's registry.
+//
+//	POST /v1/arrive    {"demand":{...},"vms":[...]}  queue an application
+//	POST /v1/step      advance one plan step, return its decision record
+//	GET  /v1/decisions full decision log (JSONL)
+//	GET  /v1/state     engine status
+//	GET  /v1/snapshot  engine state (binary, restorable with -restore)
+//	POST /v1/snapshot  write engine state to the -snapshot path
+//	GET  /metrics, /snapshot, /events, /debug/pprof/...   obs-v2 telemetry
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+
+	vb "github.com/vbcloud/vb"
+	"github.com/vbcloud/vb/internal/obs/expo"
+)
+
+// daemon is the serving state: one engine, a queue of arrivals for the
+// next step, and the accumulated decision log.
+type daemon struct {
+	scn      *scenario
+	snapPath string
+
+	mu        sync.Mutex
+	eng       *vb.VMEngine
+	pending   []vb.AppArrival
+	decisions [][]byte
+	decFile   *os.File
+}
+
+func serve(scn *scenario, listen, decPath, snapPath, restorePath string) error {
+	eng, err := scn.newEngine(restorePath)
+	if err != nil {
+		return err
+	}
+	d := &daemon{scn: scn, snapPath: snapPath, eng: eng}
+	if decPath != "" {
+		f, err := os.OpenFile(decPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		d.decFile = f
+	}
+	log.Printf("listening on %s (policy %v, %d sites, %d steps, starting at step %d)",
+		listen, scn.cfg.Policy, len(scn.in.Actual), eng.Steps(), eng.Step())
+	return http.ListenAndServe(listen, d.handler())
+}
+
+func (d *daemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/arrive", d.handleArrive)
+	mux.HandleFunc("/v1/step", d.handleStep)
+	mux.HandleFunc("/v1/decisions", d.handleDecisions)
+	mux.HandleFunc("/v1/state", d.handleState)
+	mux.HandleFunc("/v1/snapshot", d.handleSnapshot)
+	// The obs-v2 telemetry surface, served from the run's registry.
+	tele := expo.NewServer(d.scn.reg).Handler()
+	for _, p := range []string{"/metrics", "/snapshot", "/events", "/debug/pprof/"} {
+		mux.Handle(p, tele)
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (d *daemon) handleArrive(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var arr vb.AppArrival
+	if err := json.NewDecoder(r.Body).Decode(&arr); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding arrival: %v", err)
+		return
+	}
+	if err := arr.Demand.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid demand: %v", err)
+		return
+	}
+	d.mu.Lock()
+	d.pending = append(d.pending, arr)
+	n := len(d.pending)
+	d.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, map[string]int{"queued": n})
+}
+
+func (d *daemon) handleStep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.eng.Done() {
+		httpError(w, http.StatusConflict, "timeline exhausted (%d steps)", d.eng.Steps())
+		return
+	}
+	rep, err := d.eng.Advance(d.pending)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "advance: %v", err)
+		return
+	}
+	d.pending = d.pending[:0]
+	line, err := json.Marshal(rep)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding report: %v", err)
+		return
+	}
+	d.decisions = append(d.decisions, line)
+	if d.decFile != nil {
+		if _, err := d.decFile.Write(append(line, '\n')); err != nil {
+			httpError(w, http.StatusInternalServerError, "writing decision log: %v", err)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(line, '\n'))
+}
+
+func (d *daemon) handleDecisions(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	w.Header().Set("Content-Type", "application/jsonl")
+	bw := bufio.NewWriter(w)
+	for _, line := range d.decisions {
+		bw.Write(line)
+		bw.WriteByte('\n')
+	}
+	bw.Flush()
+}
+
+func (d *daemon) handleState(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	res := d.eng.Result()
+	state := map[string]interface{}{
+		"policy":      d.scn.cfg.Policy.String(),
+		"step":        d.eng.Step(),
+		"steps":       d.eng.Steps(),
+		"done":        d.eng.Done(),
+		"running_vms": d.eng.Running(),
+		"tracked_vms": d.eng.TrackedVMs(),
+		"queued":      len(d.pending),
+		"moves":       res.Moves,
+		"transfer_gb": res.Transfer.Total(),
+	}
+	if !d.eng.Done() {
+		state["now"] = d.eng.Now()
+	}
+	writeJSON(w, http.StatusOK, state)
+}
+
+func (d *daemon) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch r.Method {
+	case http.MethodGet:
+		// Stream the engine state; restorable via -restore or
+		// vb.RestoreVMEngine.
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := d.eng.Snapshot(w); err != nil {
+			httpError(w, http.StatusInternalServerError, "snapshot: %v", err)
+		}
+	case http.MethodPost:
+		if d.snapPath == "" {
+			httpError(w, http.StatusPreconditionFailed, "no -snapshot path configured")
+			return
+		}
+		if err := writeSnapshot(d.eng, d.snapPath); err != nil {
+			httpError(w, http.StatusInternalServerError, "snapshot: %v", err)
+			return
+		}
+		info, _ := os.Stat(d.snapPath)
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"path": d.snapPath, "bytes": info.Size(), "step": d.eng.Step(),
+		})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or POST")
+	}
+}

@@ -16,6 +16,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -129,10 +130,18 @@ func (s *Site) Utilization() float64 {
 	return float64(s.AllocatedCores()) / float64(s.cfg.TotalCores())
 }
 
+// floorEps truncates x to an integer the way int(x) does, except that a
+// product which float arithmetic landed a hair below an exact integer
+// (0.70 × 19600 = 13719.999999999998) is rescued onto it. The epsilon is
+// far below one core, so genuine fractional results still truncate.
+func floorEps(x float64) int {
+	return int(math.Floor(x + 1e-9))
+}
+
 // admissionLimit is the maximum allocated cores admission control allows at
 // the current power level.
 func (s *Site) admissionLimit() int {
-	return int(s.cfg.TargetUtilization * float64(s.powered))
+	return floorEps(s.cfg.TargetUtilization * float64(s.powered))
 }
 
 // place puts a VM on the best-fit server (the most loaded server that still
@@ -230,7 +239,7 @@ func (s *Site) Step(now time.Time, powerFrac float64, arrivals []workload.VM) St
 	if powerFrac > 1 {
 		powerFrac = 1
 	}
-	s.powered = int(powerFrac * float64(s.cfg.TotalCores()))
+	s.powered = floorEps(powerFrac * float64(s.cfg.TotalCores()))
 	// Evict while allocation exceeds powered cores: unallocated cores were
 	// implicitly powered down first (they are not counted in allocation).
 	res.OutGB, res.Evicted = s.evictDown()
@@ -319,7 +328,7 @@ func (s *Site) SetPowerEvict(powerFrac float64) []workload.VM {
 	if powerFrac > 1 {
 		powerFrac = 1
 	}
-	s.powered = int(powerFrac * float64(s.cfg.TotalCores()))
+	s.powered = floorEps(powerFrac * float64(s.cfg.TotalCores()))
 	before := len(s.pending)
 	s.evictDown()
 	// evictDown queues evictions on s.pending; claim them back.

@@ -302,3 +302,65 @@ func TestSnapshotPowerDown(t *testing.T) {
 		t.Errorf("power-down snapshot: %+v", snap)
 	}
 }
+
+// TestFloorEpsBoundaries pins the float-truncation fix: products that are
+// exact in real arithmetic but land a hair below the integer in floats
+// (0.70 × n for many n) must not lose a whole core, while genuinely
+// fractional products still truncate.
+func TestFloorEpsBoundaries(t *testing.T) {
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{0.7 * 19600, 13720}, // 0.7 is inexact in binary; the product ≈ 13719.999999999998
+		{0.7 * 28000, 19600},
+		{0.7 * 10, 7},
+		{0.35 * 20, 7},
+		{0.1 * 30, 3},
+		{0.57 * 100, 57},
+		{10.5, 10},                   // genuine fraction: truncates
+		{6.999, 6},                   // not within epsilon: truncates
+		{13719.9999999999995, 13720}, // within epsilon: rescued
+	}
+	for _, c := range cases {
+		if got := floorEps(c.x); got != c.want {
+			t.Errorf("floorEps(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+// TestAdmissionLimitExactFraction checks the end-to-end consequence: at
+// exact-fraction power levels the admission limit is the exact product, so
+// a site filled to precisely 70% of powered cores admits the last VM.
+func TestAdmissionLimitExactFraction(t *testing.T) {
+	// 19600 powered cores at 0.70 target: limit must be exactly 13720.
+	cfg := Config{Servers: 700, CoresPerServer: 40, MemPerServerGB: 512, TargetUtilization: 0.70}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetPowerEvict(0.7) // powered = 0.7 × 28000 = 19600 exactly
+	if s.PoweredCores() != 19600 {
+		t.Fatalf("powered = %d, want 19600", s.PoweredCores())
+	}
+	if got := s.admissionLimit(); got != 13720 {
+		t.Fatalf("admissionLimit = %d, want 13720 (0.70 × 19600)", got)
+	}
+	// Fill to exactly the limit with 40-core VMs: all must admit.
+	id := 1
+	for alloc := 0; alloc+40 <= 13720; alloc += 40 {
+		if !s.Admit(workload.VM{ID: id, Cores: 40, MemoryGB: 1}) {
+			t.Fatalf("VM %d rejected at alloc %d under limit 13720", id, s.AllocatedCores())
+		}
+		id++
+	}
+	if s.AllocatedCores() != 13720 {
+		t.Fatalf("allocated %d, want 13720", s.AllocatedCores())
+	}
+	// One more core is over the limit.
+	if s.Admit(workload.VM{ID: id, Cores: 1, MemoryGB: 1}) {
+		t.Error("VM admitted beyond the 70% limit")
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/vbcloud/vb/internal/mip"
+)
+
+// Scheduler state export for daemon crash recovery. The persistent state is
+// the commitment ledgers (capacity and planned-migration), plus the per-app
+// warm solver cache: the warm basis determines which optimal vertex a
+// replan lands on when the MIP has alternate optima, so a restored
+// scheduler must carry it to keep replaying the exact decisions the
+// uninterrupted process would have made. Metrics (Config.Obs) are run-
+// scoped and deliberately not part of the state.
+
+// schedulerState is the gob wire form of a Scheduler's mutable state.
+type schedulerState struct {
+	NumSites, Steps int
+	Committed       [][]float64
+	MigCommitted    []float64
+	WarmTick        int64
+	Warm            map[int]warmRec
+}
+
+// warmRec pairs one app's warm solver state with its LRU tick.
+type warmRec struct {
+	WS   *mip.WarmState
+	Tick int64
+}
+
+// EncodeState serializes the scheduler's commitment ledgers and warm
+// solver cache. The configuration is not included: restore by building a
+// scheduler with the identical Config/numSites/steps and calling
+// DecodeState on it.
+func (s *Scheduler) EncodeState(w io.Writer) error {
+	st := schedulerState{
+		NumSites:     s.numSites,
+		Steps:        s.steps,
+		Committed:    s.committed,
+		MigCommitted: s.migCommitted,
+		WarmTick:     s.warmTick,
+	}
+	if s.warm != nil {
+		st.Warm = make(map[int]warmRec, len(s.warm))
+		for id, e := range s.warm {
+			st.Warm[id] = warmRec{WS: e.ws, Tick: e.tick}
+		}
+	}
+	if err := gob.NewEncoder(w).Encode(st); err != nil {
+		return fmt.Errorf("core: encoding scheduler state: %w", err)
+	}
+	return nil
+}
+
+// DecodeState restores state written by EncodeState into a scheduler built
+// with the same shape (numSites, steps). It replaces the ledgers and warm
+// cache wholesale.
+func (s *Scheduler) DecodeState(r io.Reader) error {
+	var st schedulerState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("core: decoding scheduler state: %w", err)
+	}
+	if st.NumSites != s.numSites || st.Steps != s.steps {
+		return fmt.Errorf("core: scheduler state is %d sites × %d steps, this scheduler is %d × %d",
+			st.NumSites, st.Steps, s.numSites, s.steps)
+	}
+	if len(st.Committed) != s.numSites || len(st.MigCommitted) != s.steps {
+		return fmt.Errorf("core: scheduler state ledgers malformed (%d site rows, %d mig steps)",
+			len(st.Committed), len(st.MigCommitted))
+	}
+	for i, row := range st.Committed {
+		if len(row) != s.steps {
+			return fmt.Errorf("core: scheduler state site %d has %d steps, want %d", i, len(row), s.steps)
+		}
+	}
+	s.committed = st.Committed
+	s.migCommitted = st.MigCommitted
+	s.warmTick = st.WarmTick
+	s.warm = nil
+	if st.Warm != nil {
+		s.warm = make(map[int]*warmEntry, len(st.Warm))
+		for id, rec := range st.Warm {
+			ws := rec.WS
+			if ws == nil {
+				ws = &mip.WarmState{}
+			}
+			s.warm[id] = &warmEntry{ws: ws, tick: rec.Tick}
+		}
+	}
+	return nil
+}

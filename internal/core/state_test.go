@@ -1,0 +1,127 @@
+package core
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestSchedulerStateRoundTrip pins the daemon crash-recovery contract at
+// the scheduler layer: after placing a handful of MIP apps, an
+// encode/decode cycle into a fresh scheduler reproduces the commitment
+// ledgers exactly, and subsequent placements (replans of known apps and a
+// brand-new app) produce bit-identical plans on both schedulers — the warm
+// solver cache must survive the round trip, or replans land on different
+// alternate-optimal vertices.
+func TestSchedulerStateRoundTrip(t *testing.T) {
+	const sites, steps = 3, 12
+	orig, err := NewScheduler(validConfig(MIP), sites, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 9))
+	pred := constCap(400, 250, 300)
+	stable := constCap(120, 250, 60)
+
+	type placed struct {
+		d    AppDemand
+		plan Plan
+	}
+	var apps []placed
+	for id := 1; id <= 6; id++ {
+		d := demand(id, 30+rng.Float64()*40, 20+rng.Float64()*20, 4)
+		if d.StableCores > d.Cores {
+			d.StableCores = d.Cores
+		}
+		plan, err := orig.Place(d, 0, steps, pred, stable, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps = append(apps, placed{d, plan})
+	}
+
+	var buf bytes.Buffer
+	if err := orig.EncodeState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewScheduler(validConfig(MIP), sites, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.DecodeState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	for site := 0; site < sites; site++ {
+		for step := 0; step < steps; step++ {
+			if orig.Committed(site, step) != restored.Committed(site, step) {
+				t.Fatalf("committed[%d][%d] differs: %v vs %v",
+					site, step, orig.Committed(site, step), restored.Committed(site, step))
+			}
+		}
+	}
+
+	// Replan every app (warm path) plus one new app (cold path) on both.
+	replan := append(apps, placed{d: demand(99, 55, 45, 4)})
+	for _, a := range replan {
+		var prev []float64
+		var prevPlan [][]float64
+		if a.plan.Alloc != nil {
+			prev = make([]float64, sites)
+			for s := range prev {
+				prev[s] = a.plan.Alloc[s][3]
+			}
+			prevPlan = a.plan.Alloc
+		}
+		pa, errA := orig.Place(a.d, 3, steps, pred, stable, prev, prevPlan)
+		pb, errB := restored.Place(a.d, 3, steps, pred, stable, prev, prevPlan)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("app %d: errors diverge: %v vs %v", a.d.ID, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		for s := range pa.Alloc {
+			for step := range pa.Alloc[s] {
+				if pa.Alloc[s][step] != pb.Alloc[s][step] {
+					t.Fatalf("app %d: alloc[%d][%d] = %v vs %v (must be bit-identical)",
+						a.d.ID, s, step, pa.Alloc[s][step], pb.Alloc[s][step])
+				}
+			}
+		}
+	}
+}
+
+// TestSchedulerDecodeRejectsMismatch ensures a snapshot from a different
+// fleet shape cannot be loaded silently.
+func TestSchedulerDecodeRejectsMismatch(t *testing.T) {
+	a, err := NewScheduler(validConfig(MIP), 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.EncodeState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewScheduler(validConfig(MIP), 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DecodeState(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("site-count mismatch should be rejected")
+	}
+	c, err := NewScheduler(validConfig(MIP), 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DecodeState(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("step-count mismatch should be rejected")
+	}
+	d, err := NewScheduler(validConfig(MIP), 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DecodeState(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("garbage payload should be rejected")
+	}
+}

@@ -1,0 +1,119 @@
+package lp
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Instance state serialization for crash recovery of long-lived schedulers.
+//
+// A warm-started solve's pivot path — and therefore which of several
+// alternate optimal vertices it returns — depends on the exact numeric
+// state the previous solve left behind: the basis, the nonbasic variable
+// statuses, the product-form basis inverse, and the incrementally
+// maintained reduced costs. Snapshotting a daemon mid-run therefore has to
+// round-trip all of it bit-exactly, or a restored process replans onto
+// different (equally optimal, but different) vertices than the
+// uninterrupted one would. Gob encodes float64 by bit pattern, so the
+// round trip is exact, infinities included.
+
+// instanceState mirrors every Instance field that outlives a solve. The
+// scratch arrays (accum, w, y, cb1) are overwritten before every use and
+// are reallocated empty on decode.
+type instanceState struct {
+	M, NStruct int
+	Maximize   bool
+
+	Cmin, B        []float64
+	Senses         []Sense
+	BaseLo, BaseHi []float64
+
+	ColPtr, ColRow []int32
+	ColVal         []float64
+	RowPtr, RowCol []int32
+	RowVal         []float64
+
+	Lo, Hi    []float64
+	Basis     []int32
+	Vstat     []int8
+	Binv      []float64
+	BinvIdent bool
+	XB        []float64
+	Ready     bool
+	D         []float64
+	DExact    bool
+
+	Pivots int64
+}
+
+// GobEncode serializes the compiled problem and the warm solver state.
+func (in *Instance) GobEncode() ([]byte, error) {
+	st := instanceState{
+		M: in.m, NStruct: in.nStruct, Maximize: in.maximize,
+		Cmin: in.cmin, B: in.b, Senses: in.senses,
+		BaseLo: in.baseLo, BaseHi: in.baseHi,
+		ColPtr: in.colPtr, ColRow: in.colRow, ColVal: in.colVal,
+		RowPtr: in.rowPtr, RowCol: in.rowCol, RowVal: in.rowVal,
+		Lo: in.lo, Hi: in.hi,
+		Basis: in.basis, Vstat: in.vstat,
+		Binv: in.binv, BinvIdent: in.binvIdent,
+		XB: in.xB, Ready: in.ready,
+		D: in.d, DExact: in.dExact,
+		Pivots: in.pivots,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("lp: encoding instance: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores an instance serialized by GobEncode. The decoded
+// instance solves exactly as the original would have: same warm basis,
+// same inverse, same reduced costs, hence the same pivot path.
+func (in *Instance) GobDecode(b []byte) error {
+	var st instanceState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return fmt.Errorf("lp: decoding instance: %w", err)
+	}
+	m, ns := st.M, st.NStruct
+	n := ns + m
+	if m < 0 || ns <= 0 {
+		return fmt.Errorf("lp: decoded instance has %d rows, %d vars", m, ns)
+	}
+	for _, c := range []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"cmin", len(st.Cmin), n}, {"b", len(st.B), m}, {"senses", len(st.Senses), m},
+		{"baseLo", len(st.BaseLo), n}, {"baseHi", len(st.BaseHi), n},
+		{"colPtr", len(st.ColPtr), ns + 1}, {"rowPtr", len(st.RowPtr), m + 1},
+		{"lo", len(st.Lo), n}, {"hi", len(st.Hi), n},
+		{"basis", len(st.Basis), m}, {"vstat", len(st.Vstat), n},
+		{"binv", len(st.Binv), m * m}, {"xB", len(st.XB), m}, {"d", len(st.D), n},
+	} {
+		if c.got != c.want {
+			return fmt.Errorf("lp: decoded instance %s has %d entries, want %d", c.name, c.got, c.want)
+		}
+	}
+	*in = Instance{
+		m: m, nStruct: ns, n: n, maximize: st.Maximize,
+		cmin: st.Cmin, b: st.B, senses: st.Senses,
+		baseLo: st.BaseLo, baseHi: st.BaseHi,
+		colPtr: st.ColPtr, colRow: st.ColRow, colVal: st.ColVal,
+		rowPtr: st.RowPtr, rowCol: st.RowCol, rowVal: st.RowVal,
+		lo: st.Lo, hi: st.Hi,
+		basis: st.Basis, vstat: st.Vstat,
+		binv: st.Binv, binvIdent: st.BinvIdent,
+		xB: st.XB, ready: st.Ready,
+		d: st.D, dExact: st.DExact,
+		pivots: st.Pivots,
+		accum:  make([]float64, m),
+		w:      make([]float64, m),
+		y:      make([]float64, m),
+		cb1:    make([]int8, m),
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package lp
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+)
+
+// TestInstanceStateRoundTrip pins the crash-recovery contract: after a
+// solve, an encode/decode cycle reproduces the instance bit-exactly, and a
+// refreshed re-solve from the decoded instance pivots to exactly the same
+// solution as the original would.
+func TestInstanceStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 50; trial++ {
+		p := randomStateProblem(rng)
+		orig, err := NewInstance(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := orig.SolveCurrent(); err != nil {
+			t.Fatal(err)
+		}
+
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(orig); err != nil {
+			t.Fatal(err)
+		}
+		restored := new(Instance)
+		if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(restored); err != nil {
+			t.Fatal(err)
+		}
+
+		// Bit-exact persistent state.
+		for _, c := range []struct {
+			name string
+			a, b interface{}
+		}{
+			{"basis", orig.basis, restored.basis},
+			{"vstat", orig.vstat, restored.vstat},
+			{"binv", orig.binv, restored.binv},
+			{"xB", orig.xB, restored.xB},
+			{"d", orig.d, restored.d},
+			{"lo", orig.lo, restored.lo},
+			{"hi", orig.hi, restored.hi},
+			{"cmin", orig.cmin, restored.cmin},
+		} {
+			if !reflect.DeepEqual(c.a, c.b) {
+				t.Fatalf("trial %d: %s differs after round trip", trial, c.name)
+			}
+		}
+		if orig.ready != restored.ready || orig.binvIdent != restored.binvIdent ||
+			orig.dExact != restored.dExact || orig.pivots != restored.pivots {
+			t.Fatalf("trial %d: flags differ after round trip", trial)
+		}
+
+		// A perturbed re-solve follows the identical pivot path on both.
+		q := p
+		q.Objective = append([]float64(nil), p.Objective...)
+		for i := range q.Objective {
+			q.Objective[i] *= 1.1
+		}
+		if !orig.Refresh(q) || !restored.Refresh(q) {
+			t.Fatalf("trial %d: refresh failed", trial)
+		}
+		stA, errA := orig.SolveCurrent()
+		stB, errB := restored.SolveCurrent()
+		if (errA == nil) != (errB == nil) || stA != stB {
+			t.Fatalf("trial %d: statuses diverge: %v/%v vs %v/%v", trial, stA, errA, stB, errB)
+		}
+		if stA == Optimal {
+			xa := orig.Values(nil)
+			xb := restored.Values(nil)
+			for i := range xa {
+				if xa[i] != xb[i] {
+					t.Fatalf("trial %d: x[%d] = %v vs %v (must be bit-identical)", trial, i, xa[i], xb[i])
+				}
+			}
+			if orig.pivots != restored.pivots {
+				t.Fatalf("trial %d: pivot counts diverge: %d vs %d", trial, orig.pivots, restored.pivots)
+			}
+		}
+	}
+}
+
+// TestInstanceDecodeRejectsCorrupt checks that truncated or inconsistent
+// snapshots fail loudly instead of producing a silently wrong solver.
+func TestInstanceDecodeRejectsCorrupt(t *testing.T) {
+	p := Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: LE, RHS: 4},
+		},
+	}
+	inst, err := NewInstance(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := inst.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := new(Instance).GobDecode(raw[:len(raw)/2]); err == nil {
+		t.Error("truncated payload should fail to decode")
+	}
+	if err := new(Instance).GobDecode([]byte("not gob")); err == nil {
+		t.Error("garbage payload should fail to decode")
+	}
+}
+
+// randomProblem builds a small random feasible-ish LP (bounded variables,
+// mixed senses) for round-trip trials.
+func randomStateProblem(rng *rand.Rand) Problem {
+	n := 3 + rng.IntN(5)
+	m := 2 + rng.IntN(4)
+	p := Problem{
+		NumVars:   n,
+		Objective: make([]float64, n),
+		Upper:     make([]float64, n),
+	}
+	for j := 0; j < n; j++ {
+		p.Objective[j] = rng.Float64()*4 - 2
+		p.Upper[j] = 1 + rng.Float64()*9
+	}
+	for i := 0; i < m; i++ {
+		c := Constraint{Coeffs: make([]float64, n), Sense: LE, RHS: 2 + rng.Float64()*10}
+		if rng.IntN(3) == 0 {
+			c.Sense = GE
+			c.RHS = rng.Float64()
+		}
+		for j := 0; j < n; j++ {
+			if rng.IntN(2) == 0 {
+				c.Coeffs[j] = rng.Float64() * 3
+			}
+		}
+		p.Constraints = append(p.Constraints, c)
+	}
+	return p
+}

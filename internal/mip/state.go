@@ -1,0 +1,34 @@
+package mip
+
+import (
+	"github.com/vbcloud/vb/internal/lp"
+)
+
+// WarmState serialization: a scheduler that snapshots itself mid-run must
+// carry its warm solver state across the restart, because a warm re-solve
+// can legitimately return a different optimal vertex than a cold one and
+// crash recovery promises bit-identical decisions. The payload delegates
+// to lp.Instance's exact gob round trip; an empty payload means "no
+// instance carried yet" (the zero WarmState).
+
+// GobEncode implements gob.GobEncoder.
+func (ws *WarmState) GobEncode() ([]byte, error) {
+	if ws.inst == nil {
+		return []byte{}, nil
+	}
+	return ws.inst.GobEncode()
+}
+
+// GobDecode implements gob.GobDecoder.
+func (ws *WarmState) GobDecode(b []byte) error {
+	if len(b) == 0 {
+		ws.inst = nil
+		return nil
+	}
+	inst := new(lp.Instance)
+	if err := inst.GobDecode(b); err != nil {
+		return err
+	}
+	ws.inst = inst
+	return nil
+}

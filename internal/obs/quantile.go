@@ -31,6 +31,11 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 		// The rank lands in bucket i, spanning (lo, hi].
 		var lo, hi float64
 		switch {
+		case len(s.Bounds) == 0:
+			// A histogram created with no bounds (NewHistogram(name, nil)
+			// is legal) has a single overflow bucket covering everything;
+			// the only honest edges are the observed extremes.
+			lo, hi = s.Min, s.Max
 		case i >= len(s.Bounds):
 			// Overflow bucket: everything above the last bound. The only
 			// honest upper edge is the observed max.

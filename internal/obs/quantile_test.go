@@ -71,3 +71,68 @@ func TestQuantileInterpolatesWithinBucket(t *testing.T) {
 		prev = v
 	}
 }
+
+// TestQuantileEmptyBounds is the regression test for the empty-bounds
+// panic: NewHistogram(name, nil) is legal and yields a single overflow
+// bucket, which used to index Bounds[-1] when a mid-range rank landed in
+// it. With no bounds every quantile interpolates within [Min, Max].
+func TestQuantileEmptyBounds(t *testing.T) {
+	r := NewRegistry()
+	r.NewHistogram("h", nil)
+	for _, v := range []float64{2, 4, 6, 8} {
+		r.Observe("h", v)
+	}
+	s, _ := r.Histogram("h")
+	if len(s.Bounds) != 0 {
+		t.Fatalf("nil-bounds histogram reports %d bounds", len(s.Bounds))
+	}
+	if got := s.Quantile(0); got != 2 {
+		t.Errorf("Quantile(0) = %v, want Min 2", got)
+	}
+	if got := s.Quantile(1); got != 8 {
+		t.Errorf("Quantile(1) = %v, want Max 8", got)
+	}
+	// rank(0.5)=2 is halfway through the only bucket: 2 + (8-2)*2/4 = 5.
+	if got := s.Quantile(0.5); got != 5 {
+		t.Errorf("Quantile(0.5) = %v, want 5", got)
+	}
+	for _, q := range []float64{0.1, 0.25, 0.75, 0.9} {
+		if got := s.Quantile(q); got < 2 || got > 8 {
+			t.Errorf("Quantile(%v) = %v outside observed [2, 8]", q, got)
+		}
+	}
+	// Single observation with nil bounds: every quantile is it.
+	r2 := NewRegistry()
+	r2.NewHistogram("one", nil)
+	r2.Observe("one", 42)
+	s2, _ := r2.Histogram("one")
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s2.Quantile(q); got != 42 {
+			t.Errorf("single-obs nil-bounds Quantile(%v) = %v, want 42", q, got)
+		}
+	}
+}
+
+// TestQuantileOverflowRank pins the overflow-bucket branch when explicit
+// bounds exist but the rank lands above the last one.
+func TestQuantileOverflowRank(t *testing.T) {
+	r := NewRegistry()
+	r.NewHistogram("h", []float64{1})
+	// All mass in the overflow bucket (1, Max].
+	for _, v := range []float64{5, 7, 9, 11} {
+		r.Observe("h", v)
+	}
+	s, _ := r.Histogram("h")
+	// rank(0.5)=2 is halfway through (1, 11]: 1 + 10*2/4 = 6.
+	if got := s.Quantile(0.5); got != 6 {
+		t.Errorf("Quantile(0.5) = %v, want 6", got)
+	}
+	// Clamped to Min below: interpolating near the bucket floor would
+	// report 1, but the smallest observation is 5.
+	if got := s.Quantile(0.01); got != 5 {
+		t.Errorf("Quantile(0.01) = %v, want clamp to Min 5", got)
+	}
+	if got := s.Quantile(1); got != 11 {
+		t.Errorf("Quantile(1) = %v, want Max 11", got)
+	}
+}

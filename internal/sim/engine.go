@@ -1,0 +1,412 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/vbcloud/vb/internal/core"
+	"github.com/vbcloud/vb/internal/obs"
+	"github.com/vbcloud/vb/internal/trace"
+)
+
+// Engine is the exported stepping core behind Run: the same admit → replan
+// → reallocate → account loop, advanced one plan step at a time so a
+// long-lived process (cmd/vbserve) can feed arrivals as they happen instead
+// of handing over a complete trace up front. Run is a thin loop over
+// Advance; feeding an Engine the batch arrivals in Start order reproduces
+// Run's decisions bit-for-bit.
+type Engine struct {
+	cfg         core.Config
+	in          Input
+	base        trace.Series
+	numSites    int
+	T           int
+	stepsPerDay int
+	util        float64
+	reg         *obs.Registry
+	sched       *core.Scheduler
+	vecs        *simVecs
+
+	active []*appState
+	step   int
+	res    Result
+}
+
+// appState is one admitted application's live scheduling state.
+type appState struct {
+	demand  core.AppDemand
+	plan    core.Plan
+	cur     []float64 // current cores per site
+	endStep int
+}
+
+// StepReport summarizes what one Advance call did — the per-step decision
+// record a daemon logs and serves.
+type StepReport struct {
+	Step int       `json:"step"`
+	Now  time.Time `json:"now"`
+	// Admitted lists app IDs admitted this step (in arrival order).
+	Admitted []int `json:"admitted,omitempty"`
+	// Replans counts daily re-planning invocations this step.
+	Replans int `json:"replans,omitempty"`
+	// PlannedGB and ForcedGB split this step's migration traffic.
+	PlannedGB float64 `json:"planned_gb"`
+	ForcedGB  float64 `json:"forced_gb"`
+	// TransferGB is the step's total migration traffic.
+	TransferGB float64 `json:"transfer_gb"`
+	// PausedCoreSteps and ShortfallCoreSteps are this step's availability
+	// violations.
+	PausedCoreSteps    float64 `json:"paused_core_steps"`
+	ShortfallCoreSteps float64 `json:"shortfall_core_steps"`
+}
+
+// validateStreaming checks everything Input.Validate does except the
+// requirement that Apps be non-empty: a streaming engine receives its
+// demands through Advance.
+func (in Input) validateStreaming() error {
+	if len(in.Actual) == 0 {
+		return fmt.Errorf("sim: no sites")
+	}
+	if len(in.Bundles) != len(in.Actual) {
+		return fmt.Errorf("sim: %d bundles for %d sites", len(in.Bundles), len(in.Actual))
+	}
+	if in.TotalCores <= 0 {
+		return fmt.Errorf("sim: non-positive core count %v", in.TotalCores)
+	}
+	base := in.Actual[0]
+	if base.IsEmpty() {
+		return trace.ErrEmptySeries
+	}
+	for _, s := range in.Actual[1:] {
+		if s.Step != base.Step || s.Len() != base.Len() || !s.Start.Equal(base.Start) {
+			return fmt.Errorf("sim: power series disagree on time base")
+		}
+	}
+	for _, a := range in.Apps {
+		if err := a.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewEngine builds a stepping engine. Unlike Run, Input.Apps may be empty:
+// demands arrive through Advance. Apps must be fed at (or before) the first
+// step whose time reaches their Start, in Start order, to match batch
+// semantics.
+func NewEngine(cfg core.Config, in Input) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := in.validateStreaming(); err != nil {
+		return nil, err
+	}
+	base := in.Actual[0]
+	if cfg.PlanStep != base.Step {
+		return nil, fmt.Errorf("sim: plan step %v != power step %v", cfg.PlanStep, base.Step)
+	}
+	numSites := len(in.Actual)
+	T := base.Len()
+	// One registry observes the whole run: the engine's (preferred) or the
+	// scheduler config's; whichever is set also covers the other layer.
+	reg := in.Obs
+	if reg == nil {
+		reg = cfg.Obs
+	} else if cfg.Obs == nil {
+		cfg.Obs = reg
+	}
+	reg.SetGauge("sim.sites", float64(numSites))
+	reg.SetGauge("sim.steps", float64(T))
+	if reg != nil {
+		for _, b := range in.Bundles {
+			b.SetObs(reg)
+		}
+	}
+	sched, err := core.NewScheduler(cfg, numSites, T)
+	if err != nil {
+		return nil, err
+	}
+	stepsPerDay := int(24 * time.Hour / base.Step)
+	if stepsPerDay < 1 {
+		stepsPerDay = 1
+	}
+	e := &Engine{
+		cfg: cfg, in: in, base: base,
+		numSites: numSites, T: T, stepsPerDay: stepsPerDay,
+		util: effectiveUtil(cfg), reg: reg,
+		sched: sched,
+		vecs:  newSimVecs(reg, cfg.Policy, numSites),
+		res: Result{
+			Policy:       cfg.Policy,
+			Transfer:     trace.New(base.Start, base.Step, T),
+			PerApp:       make(map[int]float64),
+			PerAppPaused: make(map[int]float64),
+			PerAppDemand: make(map[int]float64),
+		},
+	}
+	e.res.InBySite = make([]trace.Series, numSites)
+	e.res.OutBySite = make([]trace.Series, numSites)
+	for i := 0; i < numSites; i++ {
+		e.res.InBySite[i] = trace.New(base.Start, base.Step, T)
+		e.res.OutBySite[i] = trace.New(base.Start, base.Step, T)
+	}
+	return e, nil
+}
+
+// Step returns the next step Advance will execute.
+func (e *Engine) Step() int { return e.step }
+
+// Steps returns the total step count of the run's timeline.
+func (e *Engine) Steps() int { return e.T }
+
+// Now returns the simulation time of the next step.
+func (e *Engine) Now() time.Time { return e.base.TimeAt(e.step) }
+
+// Done reports whether the timeline is exhausted.
+func (e *Engine) Done() bool { return e.step >= e.T }
+
+// Result returns the accumulated run result. It is valid at any point;
+// after Done it equals what Run would have returned.
+func (e *Engine) Result() Result { return e.res }
+
+func (e *Engine) actCap(site, t int) float64 {
+	return e.util * e.in.Actual[site].Values[t] * e.in.TotalCores
+}
+
+// Advance executes one plan step: retire finished apps, replan daily,
+// admit the given arrivals, execute planned reallocations and forced
+// migrations, account pauses and shortfalls. Arrivals are admitted in the
+// given order; pass them sorted by Start for batch parity.
+func (e *Engine) Advance(arrivals []core.AppDemand) (StepReport, error) {
+	if e.step >= e.T {
+		return StepReport{}, fmt.Errorf("sim: engine already at end of timeline (step %d of %d)", e.step, e.T)
+	}
+	t := e.step
+	now := e.base.TimeAt(t)
+	rep := StepReport{Step: t, Now: now}
+	reg := e.reg
+	res := &e.res
+	numSites := e.numSites
+	transferBefore := res.Transfer.Values[t]
+	plannedBefore, forcedBefore := res.PlannedGB, res.ForcedGB
+	pausedBefore, shortBefore := res.PausedStableCoreSteps, res.ShortfallCoreSteps
+
+	// predCap is the forecast at face value; stableCap is the rolling
+	// minimum with lead-dependent pessimism — the paper's "place VMs on
+	// sites which are predicted to have stable power in the future"
+	// preference (see capacityFns).
+	predCap, stableCap := capacityFns(e.in, e.base, e.util, now, t, e.stepsPerDay, e.T)
+
+	// Retire finished apps.
+	keep := e.active[:0]
+	for _, a := range e.active {
+		if t >= a.endStep {
+			continue
+		}
+		keep = append(keep, a)
+	}
+	e.active = keep
+
+	// Daily re-planning as forecasts refresh ("as the environment changes
+	// ... we need to rerun the optimization", §3.1). All MIP variants
+	// replan; they differ in lookahead horizon.
+	if e.cfg.Policy != core.Greedy && t > 0 && t%e.stepsPerDay == 0 {
+		for _, a := range e.active {
+			e.sched.Uncommit(a.plan, t)
+			plan, err := e.sched.Place(a.demand, t, a.endStep, predCap, stableCap, a.cur, a.plan.Alloc)
+			if err != nil {
+				return rep, err
+			}
+			a.plan = plan
+			res.Placements++
+			rep.Replans++
+			reg.Inc("sim.replans")
+			reg.Emit(obs.Event{Type: obs.PlanComputed, Step: t, App: a.demand.ID, Site: -1, Dst: -1,
+				Cores: a.demand.StableCores, Detail: "replan"})
+		}
+	}
+
+	// Admit arriving apps.
+	for _, d := range arrivals {
+		if err := d.Validate(); err != nil {
+			return rep, err
+		}
+		endStep := e.T
+		if !d.End.IsZero() {
+			if idx := e.base.IndexAt(d.End); idx >= 0 {
+				endStep = idx + 1
+			}
+		}
+		if endStep <= t {
+			continue // app entirely in the past
+		}
+		if d.StableCores <= 0 {
+			continue // pure-degradable apps never migrate (no traffic)
+		}
+		plan, err := e.sched.Place(d, t, endStep, predCap, stableCap, nil, nil)
+		if err != nil {
+			return rep, err
+		}
+		st := &appState{demand: d, plan: plan, cur: make([]float64, numSites), endStep: endStep}
+		// Initial placement is free (the VMs boot where scheduled).
+		for s := 0; s < numSites; s++ {
+			st.cur[s] = plan.Alloc[s][t]
+		}
+		e.active = append(e.active, st)
+		res.Placements++
+		rep.Admitted = append(rep.Admitted, d.ID)
+		reg.Inc("sim.admissions")
+		reg.Emit(obs.Event{Type: obs.PlanComputed, Step: t, App: d.ID, Site: -1, Dst: -1,
+			Cores: d.StableCores, Detail: "admit"})
+	}
+
+	// Current per-site load.
+	load := make([]float64, numSites)
+	for _, a := range e.active {
+		for s := 0; s < numSites; s++ {
+			load[s] += a.cur[s]
+		}
+	}
+
+	// Execute planned reallocations, gated by *actual* headroom at the
+	// destination: a planned move into a site that in reality has no power
+	// simply does not happen this step (no phantom traffic), and the cores
+	// stay at their source until the plan becomes executable.
+	for _, a := range e.active {
+		if a.plan.Alloc == nil {
+			continue
+		}
+		for dst := 0; dst < numSites; dst++ {
+			want := a.plan.Alloc[dst][t] - a.cur[dst]
+			// Sub-core wants are LP rounding noise, not real moves.
+			if want <= 1e-4 {
+				continue
+			}
+			head := e.actCap(dst, t) - load[dst]
+			if head <= 1e-9 {
+				continue
+			}
+			want = math.Min(want, head)
+			// Pull cores from sites holding more than their target.
+			for src := 0; src < numSites && want > 1e-9; src++ {
+				if src == dst {
+					continue
+				}
+				excess := a.cur[src] - a.plan.Alloc[src][t]
+				if excess <= 1e-9 {
+					continue
+				}
+				x := math.Min(excess, want)
+				a.cur[src] -= x
+				a.cur[dst] += x
+				load[src] -= x
+				load[dst] += x
+				want -= x
+				gb := x * a.demand.MemGBPerCore
+				res.Transfer.Values[t] += gb
+				res.PerApp[a.demand.ID] += gb
+				res.PlannedGB += gb
+				res.InBySite[dst].Values[t] += gb
+				res.OutBySite[src].Values[t] += gb
+				reg.Emit(obs.Event{Type: obs.PlannedRealloc, Step: t, App: a.demand.ID,
+					Site: src, Dst: dst, Cores: x, GB: gb})
+				e.vecs.plannedMove(a.demand.ID, src, dst, gb)
+			}
+		}
+	}
+	for s := 0; s < numSites; s++ {
+		over := load[s] - e.actCap(s, t)
+		if over <= 1e-9 {
+			continue
+		}
+		// All tracked cores are stable (degradable VMs pause in place for
+		// free and are not tracked here): migrate the overflow to sites
+		// with actual headroom.
+		for _, a := range e.active {
+			if over <= 1e-9 {
+				break
+			}
+			move := math.Min(a.cur[s], over)
+			if move <= 1e-9 {
+				continue
+			}
+			moved := 0.0
+			for d := 0; d < numSites && move-moved > 1e-9; d++ {
+				if d == s {
+					continue
+				}
+				head := e.actCap(d, t) - load[d]
+				if head <= 1e-9 {
+					continue
+				}
+				x := math.Min(head, move-moved)
+				a.cur[s] -= x
+				a.cur[d] += x
+				load[s] -= x
+				load[d] += x
+				moved += x
+				gb := x * a.demand.MemGBPerCore
+				res.Transfer.Values[t] += gb
+				res.PerApp[a.demand.ID] += gb
+				res.ForcedGB += gb
+				res.InBySite[d].Values[t] += gb
+				res.OutBySite[s].Values[t] += gb
+				reg.Emit(obs.Event{Type: obs.ForcedMigration, Step: t, App: a.demand.ID,
+					Site: s, Dst: d, Cores: x, GB: gb})
+				e.vecs.forcedMove(a.demand.ID, s, d, gb)
+			}
+			// Whatever could not move pauses in place: availability
+			// violation.
+			rest := move - moved
+			if rest > 1e-9 {
+				res.PausedStableCoreSteps += rest
+				res.PerAppPaused[a.demand.ID] += rest
+				reg.Emit(obs.Event{Type: obs.StablePause, Step: t, App: a.demand.ID,
+					Site: s, Dst: -1, Cores: rest})
+				e.vecs.pause(a.demand.ID, s, rest)
+			}
+			over -= move
+		}
+	}
+	// Greedy has no forward plan: after forced moves, the VMs stay where
+	// they landed. Rewrite the plan's future to the new reality so later
+	// steps do not try to "move back".
+	if e.cfg.Policy == core.Greedy {
+		for _, a := range e.active {
+			e.sched.Uncommit(a.plan, t)
+			for s := 0; s < numSites; s++ {
+				for tt := t; tt < a.endStep; tt++ {
+					a.plan.Alloc[s][tt] = a.cur[s]
+				}
+			}
+			e.sched.Commit(a.plan, t)
+		}
+	}
+
+	// Record scheduler shortfall (stable demand the plan itself left
+	// unplaced) and accumulate per-app demand for availability.
+	for _, a := range e.active {
+		var placed float64
+		for s := 0; s < numSites; s++ {
+			placed += a.cur[s]
+		}
+		if gap := a.demand.StableCores - placed; gap > 1e-9 {
+			res.ShortfallCoreSteps += gap
+			res.PerAppPaused[a.demand.ID] += gap
+			reg.Emit(obs.Event{Type: obs.Shortfall, Step: t, App: a.demand.ID,
+				Site: -1, Dst: -1, Cores: gap})
+			e.vecs.short(a.demand.ID, gap)
+		}
+		res.PerAppDemand[a.demand.ID] += a.demand.StableCores
+	}
+	reg.Observe("sim.step_transfer_gb", res.Transfer.Values[t])
+
+	rep.TransferGB = res.Transfer.Values[t] - transferBefore
+	rep.PlannedGB = res.PlannedGB - plannedBefore
+	rep.ForcedGB = res.ForcedGB - forcedBefore
+	rep.PausedCoreSteps = res.PausedStableCoreSteps - pausedBefore
+	rep.ShortfallCoreSteps = res.ShortfallCoreSteps - shortBefore
+	e.step++
+	return rep, nil
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/vbcloud/vb/internal/cluster"
+	"github.com/vbcloud/vb/internal/core"
+)
+
+// TestEngineMatchesRun pins the core-level parity claim: streaming the
+// batch demands through Engine.Advance reproduces Run exactly.
+func TestEngineMatchesRun(t *testing.T) {
+	in := trioInput(t, 3, 6)
+	for _, pol := range []core.Policy{core.Greedy, core.MIP} {
+		batch, err := Run(simConfig(pol), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewEngine(simConfig(pol), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps := append([]core.AppDemand(nil), in.Apps...)
+		sort.Slice(apps, func(i, j int) bool { return apps[i].Start.Before(apps[j].Start) })
+		next := 0
+		var admitted, replans int
+		for !eng.Done() {
+			now := eng.Now()
+			var arr []core.AppDemand
+			for next < len(apps) && !apps[next].Start.After(now) {
+				arr = append(arr, apps[next])
+				next++
+			}
+			rep, err := eng.Advance(arr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			admitted += len(rep.Admitted)
+			replans += rep.Replans
+		}
+		got := eng.Result()
+		if got.PlannedGB != batch.PlannedGB || got.ForcedGB != batch.ForcedGB ||
+			got.PausedStableCoreSteps != batch.PausedStableCoreSteps ||
+			got.ShortfallCoreSteps != batch.ShortfallCoreSteps ||
+			got.Placements != batch.Placements {
+			t.Fatalf("%v: streamed result diverges from batch:\n%+v\nvs\n%+v", pol, got, batch)
+		}
+		for i := range got.Transfer.Values {
+			if got.Transfer.Values[i] != batch.Transfer.Values[i] {
+				t.Fatalf("%v: transfer[%d] = %v streamed vs %v batch", pol, i,
+					got.Transfer.Values[i], batch.Transfer.Values[i])
+			}
+		}
+		if admitted+replans != batch.Placements {
+			t.Fatalf("%v: %d admissions + %d replans != %d placements", pol, admitted, replans, batch.Placements)
+		}
+		// The timeline is exhausted: another step must fail loudly.
+		if _, err := eng.Advance(nil); err == nil {
+			t.Fatal("Advance past end of timeline should error")
+		}
+	}
+}
+
+// TestEngineStreamingValidation covers the streaming-only entry points:
+// an engine accepts an empty Input.Apps (demands arrive via Advance) but
+// still rejects malformed inputs and demands.
+func TestEngineStreamingValidation(t *testing.T) {
+	in := trioInput(t, 2, 6)
+	in.Apps = nil
+	eng, err := NewEngine(simConfig(core.Greedy), in)
+	if err != nil {
+		t.Fatalf("empty Apps should be legal for a streaming engine: %v", err)
+	}
+	if _, err := eng.Advance([]core.AppDemand{{ID: 1}}); err == nil {
+		t.Error("invalid streamed demand should error")
+	}
+	bad := in
+	bad.Actual = nil
+	if _, err := NewEngine(simConfig(core.Greedy), bad); err == nil {
+		t.Error("input without sites should be rejected")
+	}
+	if _, err := NewVMEngine(simConfig(core.Greedy), bad, cluster.Config{
+		Servers: 4, CoresPerServer: 8, MemPerServerGB: 64, TargetUtilization: 0.7,
+	}); err == nil {
+		t.Error("VM engine should reject input without sites")
+	}
+}

@@ -16,9 +16,7 @@ package sim
 
 import (
 	"fmt"
-	"math"
 	"sort"
-	"time"
 
 	"github.com/vbcloud/vb/internal/core"
 	"github.com/vbcloud/vb/internal/forecast"
@@ -46,33 +44,10 @@ type Input struct {
 
 // Validate reports input errors.
 func (in Input) Validate() error {
-	if len(in.Actual) == 0 {
-		return fmt.Errorf("sim: no sites")
-	}
-	if len(in.Bundles) != len(in.Actual) {
-		return fmt.Errorf("sim: %d bundles for %d sites", len(in.Bundles), len(in.Actual))
-	}
-	if in.TotalCores <= 0 {
-		return fmt.Errorf("sim: non-positive core count %v", in.TotalCores)
-	}
 	if len(in.Apps) == 0 {
 		return fmt.Errorf("sim: no applications to schedule (Input.Apps is empty)")
 	}
-	base := in.Actual[0]
-	if base.IsEmpty() {
-		return trace.ErrEmptySeries
-	}
-	for _, s := range in.Actual[1:] {
-		if s.Step != base.Step || s.Len() != base.Len() || !s.Start.Equal(base.Start) {
-			return fmt.Errorf("sim: power series disagree on time base")
-		}
-	}
-	for _, a := range in.Apps {
-		if err := a.Validate(); err != nil {
-			return err
-		}
-	}
-	return nil
+	return in.validateStreaming()
 }
 
 // Result is the outcome of one policy run.
@@ -149,7 +124,9 @@ func (r Result) MeanAvailability() float64 {
 	return sum / float64(len(r.PerAppDemand))
 }
 
-// Run simulates one policy over the inputs.
+// Run simulates one policy over the inputs. It is a thin batch loop over
+// Engine.Advance: sort the demands by arrival, feed each step the prefix
+// that has arrived, and return the engine's accumulated result.
 func Run(cfg core.Config, in Input) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -157,280 +134,27 @@ func Run(cfg core.Config, in Input) (Result, error) {
 	if err := in.Validate(); err != nil {
 		return Result{}, err
 	}
-	base := in.Actual[0]
-	if cfg.PlanStep != base.Step {
-		return Result{}, fmt.Errorf("sim: plan step %v != power step %v", cfg.PlanStep, base.Step)
-	}
-	numSites := len(in.Actual)
-	T := base.Len()
-	// One registry observes the whole run: the engine's (preferred) or the
-	// scheduler config's; whichever is set also covers the other layer.
-	reg := in.Obs
-	if reg == nil {
-		reg = cfg.Obs
-	} else if cfg.Obs == nil {
-		cfg.Obs = reg
-	}
-	defer obs.Time(reg, "sim.run")()
-	reg.SetGauge("sim.sites", float64(numSites))
-	reg.SetGauge("sim.steps", float64(T))
-	if reg != nil {
-		for _, b := range in.Bundles {
-			b.SetObs(reg)
-		}
-	}
-	sched, err := core.NewScheduler(cfg, numSites, T)
+	eng, err := NewEngine(cfg, in)
 	if err != nil {
 		return Result{}, err
 	}
-	vecs := newSimVecs(reg, cfg.Policy, numSites)
-	util := effectiveUtil(cfg)
+	defer obs.Time(eng.reg, "sim.run")()
 
-	res := Result{
-		Policy:       cfg.Policy,
-		Transfer:     trace.New(base.Start, base.Step, T),
-		PerApp:       make(map[int]float64),
-		PerAppPaused: make(map[int]float64),
-		PerAppDemand: make(map[int]float64),
-	}
-	res.InBySite = make([]trace.Series, numSites)
-	res.OutBySite = make([]trace.Series, numSites)
-	for i := 0; i < numSites; i++ {
-		res.InBySite[i] = trace.New(base.Start, base.Step, T)
-		res.OutBySite[i] = trace.New(base.Start, base.Step, T)
-	}
-
-	// Per-app state.
-	type appState struct {
-		demand  core.AppDemand
-		plan    core.Plan
-		cur     []float64 // current cores per site
-		endStep int
-	}
-	var active []*appState
-	nextApp := 0
 	apps := append([]core.AppDemand(nil), in.Apps...)
 	sort.Slice(apps, func(i, j int) bool { return apps[i].Start.Before(apps[j].Start) })
-
-	stepsPerDay := int(24 * time.Hour / base.Step)
-	if stepsPerDay < 1 {
-		stepsPerDay = 1
-	}
-
-	actCap := func(site, t int) float64 {
-		return util * in.Actual[site].Values[t] * in.TotalCores
-	}
-
-	for t := 0; t < T; t++ {
-		now := base.TimeAt(t)
-		// predCap is the forecast at face value; stableCap is the rolling
-		// minimum with lead-dependent pessimism — the paper's "place VMs
-		// on sites which are predicted to have stable power in the
-		// future" preference (see capacityFns).
-		predCap, stableCap := capacityFns(in, base, util, now, t, stepsPerDay, T)
-
-		// Retire finished apps.
-		keep := active[:0]
-		for _, a := range active {
-			if t >= a.endStep {
-				continue
-			}
-			keep = append(keep, a)
-		}
-		active = keep
-
-		// Daily re-planning as forecasts refresh ("as the environment
-		// changes ... we need to rerun the optimization", §3.1). All MIP
-		// variants replan; they differ in lookahead horizon.
-		if cfg.Policy != core.Greedy && t > 0 && t%stepsPerDay == 0 {
-			for _, a := range active {
-				sched.Uncommit(a.plan, t)
-				plan, err := sched.Place(a.demand, t, a.endStep, predCap, stableCap, a.cur, a.plan.Alloc)
-				if err != nil {
-					return Result{}, err
-				}
-				a.plan = plan
-				res.Placements++
-				reg.Inc("sim.replans")
-				reg.Emit(obs.Event{Type: obs.PlanComputed, Step: t, App: a.demand.ID, Site: -1, Dst: -1,
-					Cores: a.demand.StableCores, Detail: "replan"})
-			}
-		}
-
-		// Admit arriving apps.
+	nextApp := 0
+	for !eng.Done() {
+		now := eng.Now()
+		var arrivals []core.AppDemand
 		for nextApp < len(apps) && !apps[nextApp].Start.After(now) {
-			d := apps[nextApp]
+			arrivals = append(arrivals, apps[nextApp])
 			nextApp++
-			endStep := T
-			if !d.End.IsZero() {
-				if e := base.IndexAt(d.End); e >= 0 {
-					endStep = e + 1
-				}
-			}
-			if endStep <= t {
-				continue // app entirely in the past
-			}
-			if d.StableCores <= 0 {
-				continue // pure-degradable apps never migrate (no traffic)
-			}
-			plan, err := sched.Place(d, t, endStep, predCap, stableCap, nil, nil)
-			if err != nil {
-				return Result{}, err
-			}
-			st := &appState{demand: d, plan: plan, cur: make([]float64, numSites), endStep: endStep}
-			// Initial placement is free (the VMs boot where scheduled).
-			for s := 0; s < numSites; s++ {
-				st.cur[s] = plan.Alloc[s][t]
-			}
-			active = append(active, st)
-			res.Placements++
-			reg.Inc("sim.admissions")
-			reg.Emit(obs.Event{Type: obs.PlanComputed, Step: t, App: d.ID, Site: -1, Dst: -1,
-				Cores: d.StableCores, Detail: "admit"})
 		}
-
-		// Current per-site load.
-		load := make([]float64, numSites)
-		for _, a := range active {
-			for s := 0; s < numSites; s++ {
-				load[s] += a.cur[s]
-			}
+		if _, err := eng.Advance(arrivals); err != nil {
+			return Result{}, err
 		}
-
-		// Execute planned reallocations, gated by *actual* headroom at the
-		// destination: a planned move into a site that in reality has no
-		// power simply does not happen this step (no phantom traffic), and
-		// the cores stay at their source until the plan becomes executable.
-		for _, a := range active {
-			if a.plan.Alloc == nil {
-				continue
-			}
-			for dst := 0; dst < numSites; dst++ {
-				want := a.plan.Alloc[dst][t] - a.cur[dst]
-				// Sub-core wants are LP rounding noise, not real moves.
-				if want <= 1e-4 {
-					continue
-				}
-				head := actCap(dst, t) - load[dst]
-				if head <= 1e-9 {
-					continue
-				}
-				want = math.Min(want, head)
-				// Pull cores from sites holding more than their target.
-				for src := 0; src < numSites && want > 1e-9; src++ {
-					if src == dst {
-						continue
-					}
-					excess := a.cur[src] - a.plan.Alloc[src][t]
-					if excess <= 1e-9 {
-						continue
-					}
-					x := math.Min(excess, want)
-					a.cur[src] -= x
-					a.cur[dst] += x
-					load[src] -= x
-					load[dst] += x
-					want -= x
-					gb := x * a.demand.MemGBPerCore
-					res.Transfer.Values[t] += gb
-					res.PerApp[a.demand.ID] += gb
-					res.PlannedGB += gb
-					res.InBySite[dst].Values[t] += gb
-					res.OutBySite[src].Values[t] += gb
-					reg.Emit(obs.Event{Type: obs.PlannedRealloc, Step: t, App: a.demand.ID,
-						Site: src, Dst: dst, Cores: x, GB: gb})
-					vecs.plannedMove(a.demand.ID, src, dst, gb)
-				}
-			}
-		}
-		for s := 0; s < numSites; s++ {
-			over := load[s] - actCap(s, t)
-			if over <= 1e-9 {
-				continue
-			}
-			// All tracked cores are stable (degradable VMs pause in place
-			// for free and are not tracked here): migrate the overflow to
-			// sites with actual headroom.
-			for _, a := range active {
-				if over <= 1e-9 {
-					break
-				}
-				move := math.Min(a.cur[s], over)
-				if move <= 1e-9 {
-					continue
-				}
-				moved := 0.0
-				for d := 0; d < numSites && move-moved > 1e-9; d++ {
-					if d == s {
-						continue
-					}
-					head := actCap(d, t) - load[d]
-					if head <= 1e-9 {
-						continue
-					}
-					x := math.Min(head, move-moved)
-					a.cur[s] -= x
-					a.cur[d] += x
-					load[s] -= x
-					load[d] += x
-					moved += x
-					gb := x * a.demand.MemGBPerCore
-					res.Transfer.Values[t] += gb
-					res.PerApp[a.demand.ID] += gb
-					res.ForcedGB += gb
-					res.InBySite[d].Values[t] += gb
-					res.OutBySite[s].Values[t] += gb
-					reg.Emit(obs.Event{Type: obs.ForcedMigration, Step: t, App: a.demand.ID,
-						Site: s, Dst: d, Cores: x, GB: gb})
-					vecs.forcedMove(a.demand.ID, s, d, gb)
-				}
-				// Whatever could not move pauses in place: availability
-				// violation.
-				rest := move - moved
-				if rest > 1e-9 {
-					res.PausedStableCoreSteps += rest
-					res.PerAppPaused[a.demand.ID] += rest
-					reg.Emit(obs.Event{Type: obs.StablePause, Step: t, App: a.demand.ID,
-						Site: s, Dst: -1, Cores: rest})
-					vecs.pause(a.demand.ID, s, rest)
-				}
-				over -= move
-			}
-		}
-		// Greedy has no forward plan: after forced moves, the VMs stay
-		// where they landed. Rewrite the plan's future to the new reality
-		// so later steps do not try to "move back".
-		if cfg.Policy == core.Greedy {
-			for _, a := range active {
-				sched.Uncommit(a.plan, t)
-				for s := 0; s < numSites; s++ {
-					for tt := t; tt < a.endStep; tt++ {
-						a.plan.Alloc[s][tt] = a.cur[s]
-					}
-				}
-				sched.Commit(a.plan, t)
-			}
-		}
-
-		// Record scheduler shortfall (stable demand the plan itself left
-		// unplaced) and accumulate per-app demand for availability.
-		for _, a := range active {
-			var placed float64
-			for s := 0; s < numSites; s++ {
-				placed += a.cur[s]
-			}
-			if gap := a.demand.StableCores - placed; gap > 1e-9 {
-				res.ShortfallCoreSteps += gap
-				res.PerAppPaused[a.demand.ID] += gap
-				reg.Emit(obs.Event{Type: obs.Shortfall, Step: t, App: a.demand.ID,
-					Site: -1, Dst: -1, Cores: gap})
-				vecs.short(a.demand.ID, gap)
-			}
-			res.PerAppDemand[a.demand.ID] += a.demand.StableCores
-		}
-		reg.Observe("sim.step_transfer_gb", res.Transfer.Values[t])
 	}
-	return res, nil
+	return eng.Result(), nil
 }
 
 // effectiveUtil mirrors core.Config's utilization defaulting.

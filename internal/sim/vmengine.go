@@ -1,0 +1,566 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/vbcloud/vb/internal/cluster"
+	"github.com/vbcloud/vb/internal/core"
+	"github.com/vbcloud/vb/internal/obs"
+	"github.com/vbcloud/vb/internal/trace"
+	"github.com/vbcloud/vb/internal/workload"
+)
+
+// VMEngine is the exported stepping core behind RunVMLevel: the same
+// evict → plan → reconcile → rehome → depart loop, advanced one plan step
+// at a time so a long-lived daemon (cmd/vbserve) can stream app arrivals in
+// as they happen. RunVMLevel is a thin loop over Advance; feeding a
+// VMEngine the batch arrivals in Start order reproduces RunVMLevel's
+// decisions bit-for-bit. Unlike the fluid core-level Engine, a VMEngine
+// owns real cluster.Site simulators, which — together with the scheduler's
+// warm-start state — it can snapshot to disk and restore for crash
+// recovery.
+type VMEngine struct {
+	cfg        core.Config
+	in         Input
+	clusterCfg cluster.Config
+	base       trace.Series
+	numSites   int
+	T          int
+	stepsPer   int
+	util       float64
+	reg        *obs.Registry
+	sched      *core.Scheduler
+	vecs       *vmVecs
+	sites      []*cluster.Site
+
+	order  []*vmAppState
+	byID   map[int]*vmAppState
+	vmSite map[int]int // vmID -> site (-1 = displaced)
+
+	step    int
+	fragSum float64
+	res     VMLevelResult
+}
+
+// vmAppState is one streamed application's live scheduling state.
+type vmAppState struct {
+	demand  core.AppDemand
+	plan    core.Plan
+	vms     []workload.VM // stable VMs only
+	endStep int
+	started bool
+}
+
+// AppArrival is one application entering the system: its aggregate demand
+// for the co-scheduler plus the discrete VMs behind it. Only Stable-class
+// VMs are scheduled (degradable VMs pause in place for free, as in Run).
+type AppArrival struct {
+	Demand core.AppDemand `json:"demand"`
+	VMs    []workload.VM  `json:"vms,omitempty"`
+}
+
+// VMEvent identifies a VM-level event at a site.
+type VMEvent struct {
+	VM   int `json:"vm"`
+	App  int `json:"app"`
+	Site int `json:"site"`
+}
+
+// VMMove is one inter-site VM migration, with the reason the engine moved
+// it: "reconcile" (plan steering) or "rehome" (relaunch after eviction).
+type VMMove struct {
+	VM     int     `json:"vm"`
+	App    int     `json:"app"`
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	GB     float64 `json:"gb"`
+	Reason string  `json:"reason"`
+}
+
+// VMStepReport is the decision record of one Advance call: everything the
+// engine decided this step, in deterministic order, suitable for a JSONL
+// decision log.
+type VMStepReport struct {
+	Step int       `json:"step"`
+	Now  time.Time `json:"now"`
+	// Admitted lists app IDs that started this step.
+	Admitted []int `json:"admitted,omitempty"`
+	// Replans counts daily re-planning invocations this step.
+	Replans int `json:"replans,omitempty"`
+	// Evicted lists VMs displaced by power drops, in eviction order.
+	Evicted []VMEvent `json:"evicted,omitempty"`
+	// Moves lists inter-site migrations, in execution order.
+	Moves []VMMove `json:"moves,omitempty"`
+	// Failed lists VMs that could not be placed anywhere this step.
+	Failed []int `json:"failed,omitempty"`
+	// TransferGB is the step's total migration traffic.
+	TransferGB float64 `json:"transfer_gb"`
+	// Fragmentation is the mean end-of-step fragmentation across sites.
+	Fragmentation float64 `json:"fragmentation"`
+}
+
+// NewVMEngine builds a VM-granularity stepping engine. Unlike RunVMLevel,
+// Input.Apps may be empty: applications arrive through Advance. Feed each
+// app at (or before) the first step whose time reaches its Start, in Start
+// order, to match batch semantics.
+func NewVMEngine(cfg core.Config, in Input, clusterCfg cluster.Config) (*VMEngine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := in.validateStreaming(); err != nil {
+		return nil, err
+	}
+	if err := clusterCfg.Validate(); err != nil {
+		return nil, err
+	}
+	base := in.Actual[0]
+	if cfg.PlanStep != base.Step {
+		return nil, fmt.Errorf("sim: plan step %v != power step %v", cfg.PlanStep, base.Step)
+	}
+	numSites := len(in.Actual)
+	T := base.Len()
+	reg := in.Obs
+	if reg == nil {
+		reg = cfg.Obs
+	} else if cfg.Obs == nil {
+		cfg.Obs = reg
+	}
+	if reg != nil {
+		for _, b := range in.Bundles {
+			b.SetObs(reg)
+		}
+	}
+	sched, err := core.NewScheduler(cfg, numSites, T)
+	if err != nil {
+		return nil, err
+	}
+	sites := make([]*cluster.Site, numSites)
+	for i := range sites {
+		if sites[i], err = cluster.New(clusterCfg); err != nil {
+			return nil, err
+		}
+	}
+	stepsPerDay := int(24 * time.Hour / base.Step)
+	if stepsPerDay < 1 {
+		stepsPerDay = 1
+	}
+	return &VMEngine{
+		cfg: cfg, in: in, clusterCfg: clusterCfg, base: base,
+		numSites: numSites, T: T, stepsPer: stepsPerDay,
+		util: effectiveUtil(cfg), reg: reg,
+		sched: sched, vecs: newVMVecs(reg, cfg.Policy, numSites),
+		sites:  sites,
+		byID:   map[int]*vmAppState{},
+		vmSite: map[int]int{},
+		res: VMLevelResult{
+			Policy:   cfg.Policy,
+			Transfer: trace.New(base.Start, base.Step, T),
+		},
+	}, nil
+}
+
+// Step returns the next step Advance will execute.
+func (e *VMEngine) Step() int { return e.step }
+
+// Steps returns the total step count of the run's timeline.
+func (e *VMEngine) Steps() int { return e.T }
+
+// Now returns the simulation time of the next step.
+func (e *VMEngine) Now() time.Time { return e.base.TimeAt(e.step) }
+
+// Done reports whether the timeline is exhausted.
+func (e *VMEngine) Done() bool { return e.step >= e.T }
+
+// Running returns the number of VMs currently placed on some site.
+func (e *VMEngine) Running() int {
+	n := 0
+	for _, s := range e.vmSite {
+		if s >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TrackedVMs returns the size of the VM location table (placed plus
+// displaced VMs). A long-lived daemon watches this for leaks.
+func (e *VMEngine) TrackedVMs() int { return len(e.vmSite) }
+
+// Result returns the accumulated run result. After Done it equals what
+// RunVMLevel would have returned.
+func (e *VMEngine) Result() VMLevelResult {
+	r := e.res
+	if e.step > 0 {
+		r.Fragmentation = e.fragSum / float64(e.step)
+	}
+	return r
+}
+
+// feed registers newly arrived applications, preserving feed order (which
+// the batch wrapper makes Start order, matching RunVMLevel's sort).
+func (e *VMEngine) feed(arrivals []AppArrival) error {
+	for _, arr := range arrivals {
+		d := arr.Demand
+		if err := d.Validate(); err != nil {
+			return err
+		}
+		if _, dup := e.byID[d.ID]; dup {
+			return fmt.Errorf("sim: app %d fed twice", d.ID)
+		}
+		st := &vmAppState{demand: d, endStep: e.T}
+		if !d.End.IsZero() {
+			if idx := e.base.IndexAt(d.End); idx >= 0 {
+				st.endStep = idx + 1
+			}
+		}
+		for _, vm := range arr.VMs {
+			if vm.Class == workload.Stable {
+				st.vms = append(st.vms, vm)
+			}
+		}
+		e.byID[d.ID] = st
+		e.order = append(e.order, st)
+	}
+	return nil
+}
+
+// Advance executes one plan step: apply power (evicting as needed), admit
+// the given arrivals and replan daily, reconcile VMs against plans, rehome
+// displaced VMs, and depart finished ones.
+func (e *VMEngine) Advance(arrivals []AppArrival) (VMStepReport, error) {
+	if e.step >= e.T {
+		return VMStepReport{}, fmt.Errorf("sim: engine already at end of timeline (step %d of %d)", e.step, e.T)
+	}
+	if err := e.feed(arrivals); err != nil {
+		return VMStepReport{}, err
+	}
+	t := e.step
+	now := e.base.TimeAt(t)
+	rep := VMStepReport{Step: t, Now: now}
+	reg := e.reg
+	res := &e.res
+	numSites := e.numSites
+	predCap, stableCap := capacityFns(e.in, e.base, e.util, now, t, e.stepsPer, e.T)
+
+	// 1. Apply power to every site. Evicted VMs are marked displaced
+	// (site -1) and re-homed in step 4.
+	for sIdx, site := range e.sites {
+		for _, vm := range site.SetPowerEvict(e.in.Actual[sIdx].Values[t]) {
+			e.vmSite[vm.ID] = -1
+			rep.Evicted = append(rep.Evicted, VMEvent{VM: vm.ID, App: vm.AppID, Site: sIdx})
+			reg.Emit(obs.Event{Type: obs.VMEvicted, Step: t, App: vm.AppID, Site: sIdx, Dst: -1,
+				VM: vm.ID, Cores: float64(vm.Cores), GB: float64(vm.MemoryGB)})
+			e.vecs.evict(sIdx)
+		}
+	}
+
+	// 2. Plan: admit arriving apps; replan daily for MIP policies.
+	for _, st := range e.order {
+		if st.started || st.demand.Start.After(now) || t >= st.endStep {
+			continue
+		}
+		if st.demand.StableCores > 0 {
+			plan, err := e.sched.Place(st.demand, t, st.endStep, predCap, stableCap, nil, nil)
+			if err != nil {
+				return rep, err
+			}
+			st.plan = plan
+		}
+		st.started = true
+		rep.Admitted = append(rep.Admitted, st.demand.ID)
+	}
+	if e.cfg.Policy != core.Greedy && t > 0 && t%e.stepsPer == 0 {
+		for _, st := range e.order {
+			if !st.started || t >= st.endStep || st.plan.Alloc == nil {
+				continue
+			}
+			cur := make([]float64, numSites)
+			for _, vm := range st.vms {
+				if s, ok := e.vmSite[vm.ID]; ok && s >= 0 {
+					cur[s] += float64(vm.Cores)
+				}
+			}
+			e.sched.Uncommit(st.plan, t)
+			plan, err := e.sched.Place(st.demand, t, st.endStep, predCap, stableCap, cur, st.plan.Alloc)
+			if err != nil {
+				return rep, err
+			}
+			st.plan = plan
+			rep.Replans++
+		}
+	}
+
+	// 3. Reconcile each app's VMs against its plan: move VMs from
+	// over-target sites to under-target sites with real headroom.
+	for _, st := range e.order {
+		if !st.started || t >= st.endStep || st.plan.Alloc == nil {
+			continue
+		}
+		e.reconcile(st, t, &rep)
+	}
+
+	// 4. Re-home displaced VMs and start never-placed VMs at their app's
+	// planned sites (or anywhere with room).
+	for _, st := range e.order {
+		if !st.started || t >= st.endStep {
+			continue
+		}
+		for _, vm := range st.vms {
+			if s, ok := e.vmSite[vm.ID]; ok && s >= 0 {
+				continue
+			}
+			if end := vm.End(); !end.IsZero() && !end.After(now) {
+				continue
+			}
+			placed := placeVM(vm, st.plan, t, e.sites, e.vmSite)
+			if placed >= 0 {
+				// Relaunch after displacement costs traffic; first boot
+				// is free.
+				if _, seen := e.vmSite[vm.ID]; seen {
+					gb := float64(vm.MemoryGB)
+					res.Transfer.Values[t] += gb
+					res.Moves++
+					rep.Moves = append(rep.Moves, VMMove{VM: vm.ID, App: vm.AppID, From: -1, To: placed,
+						GB: gb, Reason: "rehome"})
+					reg.Emit(obs.Event{Type: obs.VMMoved, Step: t, App: vm.AppID, Site: -1,
+						Dst: placed, VM: vm.ID, Cores: float64(vm.Cores), GB: gb, Detail: "rehome"})
+					e.vecs.move(-1, placed, gb)
+				}
+				e.vmSite[vm.ID] = placed
+			} else {
+				res.FailedPlacements++
+				rep.Failed = append(rep.Failed, vm.ID)
+				reg.Inc("sim.vmlevel.failed_placements")
+				reg.Emit(obs.Event{Type: obs.VMPlacementFail, Step: t, App: vm.AppID, Site: -1, Dst: -1,
+					VM: vm.ID, Cores: float64(vm.Cores)})
+				e.vecs.fail(vm.AppID)
+			}
+		}
+	}
+
+	// 5. Departures. Ended VMs leave the location table whether they are
+	// running (site >= 0) or displaced (site -1): an evicted VM whose
+	// lifetime ran out while waiting will never run again, and keeping it
+	// would leak an entry per displaced-then-expired VM over a long run.
+	for _, st := range e.order {
+		for _, vm := range st.vms {
+			s, ok := e.vmSite[vm.ID]
+			if !ok {
+				continue
+			}
+			if end := vm.End(); !end.IsZero() && !end.After(now) {
+				if s >= 0 {
+					e.sites[s].Remove(vm.ID)
+				}
+				delete(e.vmSite, vm.ID)
+			}
+		}
+	}
+
+	// Fragmentation bookkeeping.
+	var frag float64
+	for _, site := range e.sites {
+		frag += site.Snapshot().Fragmentation
+	}
+	e.fragSum += frag / float64(numSites)
+	rep.Fragmentation = frag / float64(numSites)
+	rep.TransferGB = res.Transfer.Values[t]
+	reg.Observe("sim.vmlevel.step_transfer_gb", res.Transfer.Values[t])
+	e.step++
+	return rep, nil
+}
+
+// reconcile moves an app's VMs between sites until per-site core sums are
+// within one VM of the plan, charging traffic for each move.
+func (e *VMEngine) reconcile(st *vmAppState, t int, rep *VMStepReport) {
+	numSites := e.numSites
+	plan := st.plan
+	cur := make([]float64, numSites)
+	bySite := make([][]workload.VM, numSites)
+	for _, vm := range st.vms {
+		if s, ok := e.vmSite[vm.ID]; ok && s >= 0 {
+			cur[s] += float64(vm.Cores)
+			bySite[s] = append(bySite[s], vm)
+		}
+	}
+	for src := 0; src < numSites; src++ {
+		over := cur[src] - plan.Alloc[src][t]
+		for _, vm := range bySite[src] {
+			if over < float64(vm.Cores) {
+				continue // moving this VM would overshoot
+			}
+			// Find the most under-target destination that admits it.
+			dst, worst := -1, 1e-9
+			for d := 0; d < numSites; d++ {
+				if d == src {
+					continue
+				}
+				if under := plan.Alloc[d][t] - cur[d]; under > worst {
+					dst, worst = d, under
+				}
+			}
+			if dst < 0 {
+				break
+			}
+			if !e.sites[dst].Admit(vm) {
+				continue // fragmentation or admission refuses; stay put
+			}
+			e.sites[src].Remove(vm.ID)
+			e.vmSite[vm.ID] = dst
+			cur[src] -= float64(vm.Cores)
+			cur[dst] += float64(vm.Cores)
+			over -= float64(vm.Cores)
+			gb := float64(vm.MemoryGB)
+			e.res.Transfer.Values[t] += gb
+			e.res.Moves++
+			rep.Moves = append(rep.Moves, VMMove{VM: vm.ID, App: vm.AppID, From: src, To: dst,
+				GB: gb, Reason: "reconcile"})
+			e.reg.Emit(obs.Event{Type: obs.VMMoved, Step: t, App: vm.AppID, Site: src, Dst: dst,
+				VM: vm.ID, Cores: float64(vm.Cores), GB: gb, Detail: "reconcile"})
+			e.vecs.move(src, dst, gb)
+		}
+	}
+}
+
+// --- Snapshot / restore ---------------------------------------------------
+
+// vmEngineFingerprint pins the run parameters a snapshot belongs to, so a
+// snapshot cannot silently restore into a differently configured engine.
+type vmEngineFingerprint struct {
+	Policy     core.Policy
+	PlanStep   time.Duration
+	NumSites   int
+	Steps      int
+	TotalCores float64
+	Cluster    cluster.Config
+	Start      time.Time
+}
+
+func (e *VMEngine) fingerprint() vmEngineFingerprint {
+	return vmEngineFingerprint{
+		Policy:     e.cfg.Policy,
+		PlanStep:   e.cfg.PlanStep,
+		NumSites:   e.numSites,
+		Steps:      e.T,
+		TotalCores: e.in.TotalCores,
+		Cluster:    e.clusterCfg,
+		Start:      e.base.Start,
+	}
+}
+
+// vmAppWire is one app's state in snapshot wire form.
+type vmAppWire struct {
+	Demand  core.AppDemand
+	Plan    core.Plan
+	EndStep int
+	Started bool
+	VMs     []workload.VM
+}
+
+// vmEngineState is the complete gob wire form of a VMEngine. The obs
+// registry is deliberately excluded: metrics are process-scoped telemetry,
+// not decision state.
+type vmEngineState struct {
+	Fingerprint vmEngineFingerprint
+	Step        int
+	Apps        []vmAppWire
+	VMSite      map[int]int
+	Sites       []cluster.SiteState
+	Sched       []byte
+
+	TransferValues   []float64
+	Moves            int
+	FailedPlacements int
+	FragSum          float64
+}
+
+// Snapshot serializes the engine's complete decision state — streamed apps
+// and their plans, the VM location table, every site's server packing, and
+// the scheduler's commitment ledgers plus warm solver cache — such that
+// RestoreVMEngine resumes producing bit-identical decisions.
+func (e *VMEngine) Snapshot(w io.Writer) error {
+	var sched bytes.Buffer
+	if err := e.sched.EncodeState(&sched); err != nil {
+		return err
+	}
+	st := vmEngineState{
+		Fingerprint:      e.fingerprint(),
+		Step:             e.step,
+		Apps:             make([]vmAppWire, len(e.order)),
+		VMSite:           e.vmSite,
+		Sites:            make([]cluster.SiteState, e.numSites),
+		Sched:            sched.Bytes(),
+		TransferValues:   e.res.Transfer.Values,
+		Moves:            e.res.Moves,
+		FailedPlacements: e.res.FailedPlacements,
+		FragSum:          e.fragSum,
+	}
+	for i, a := range e.order {
+		st.Apps[i] = vmAppWire{Demand: a.demand, Plan: a.plan, EndStep: a.endStep, Started: a.started, VMs: a.vms}
+	}
+	for i, site := range e.sites {
+		st.Sites[i] = site.State()
+	}
+	if err := gob.NewEncoder(w).Encode(st); err != nil {
+		return fmt.Errorf("sim: encoding engine snapshot: %w", err)
+	}
+	return nil
+}
+
+// RestoreVMEngine rebuilds an engine from a Snapshot. cfg, in, and
+// clusterCfg must describe the same run that produced the snapshot (the
+// snapshot's fingerprint is checked); the restored engine continues from
+// the snapshotted step with the exact decision state of the original.
+func RestoreVMEngine(cfg core.Config, in Input, clusterCfg cluster.Config, r io.Reader) (*VMEngine, error) {
+	e, err := NewVMEngine(cfg, in, clusterCfg)
+	if err != nil {
+		return nil, err
+	}
+	var st vmEngineState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("sim: decoding engine snapshot: %w", err)
+	}
+	if got, want := st.Fingerprint, e.fingerprint(); got != want {
+		return nil, fmt.Errorf("sim: snapshot fingerprint %+v does not match engine %+v", got, want)
+	}
+	if st.Step < 0 || st.Step > e.T {
+		return nil, fmt.Errorf("sim: snapshot step %d outside [0,%d]", st.Step, e.T)
+	}
+	if len(st.TransferValues) != e.T {
+		return nil, fmt.Errorf("sim: snapshot transfer series has %d steps, want %d", len(st.TransferValues), e.T)
+	}
+	if len(st.Sites) != e.numSites {
+		return nil, fmt.Errorf("sim: snapshot has %d sites, want %d", len(st.Sites), e.numSites)
+	}
+	for i, siteState := range st.Sites {
+		site, err := cluster.NewFromState(siteState)
+		if err != nil {
+			return nil, fmt.Errorf("sim: site %d: %w", i, err)
+		}
+		e.sites[i] = site
+	}
+	if err := e.sched.DecodeState(bytes.NewReader(st.Sched)); err != nil {
+		return nil, err
+	}
+	e.order = make([]*vmAppState, len(st.Apps))
+	e.byID = make(map[int]*vmAppState, len(st.Apps))
+	for i, a := range st.Apps {
+		s := &vmAppState{demand: a.Demand, plan: a.Plan, vms: a.VMs, endStep: a.EndStep, started: a.Started}
+		e.order[i] = s
+		e.byID[a.Demand.ID] = s
+	}
+	e.vmSite = st.VMSite
+	if e.vmSite == nil {
+		e.vmSite = map[int]int{}
+	}
+	e.step = st.Step
+	copy(e.res.Transfer.Values, st.TransferValues)
+	e.res.Moves = st.Moves
+	e.res.FailedPlacements = st.FailedPlacements
+	e.fragSum = st.FragSum
+	return e, nil
+}

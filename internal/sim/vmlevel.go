@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"fmt"
 	"math"
 	"sort"
 	"time"
@@ -37,6 +36,10 @@ type VMLevelResult struct {
 // RunVMLevel simulates one policy at VM granularity. Apps supplies the
 // discrete VMs behind in.Apps (matched by App ID); only Stable-class VMs
 // are scheduled, as in Run. clusterCfg describes each site's hardware.
+//
+// It is a thin batch loop over VMEngine.Advance: the demands are sorted by
+// Start and each step is fed the newly arrived prefix, which reproduces
+// the streaming daemon's decisions exactly (and vice versa).
 func RunVMLevel(cfg core.Config, in Input, apps []workload.App, clusterCfg cluster.Config) (VMLevelResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return VMLevelResult{}, err
@@ -44,251 +47,41 @@ func RunVMLevel(cfg core.Config, in Input, apps []workload.App, clusterCfg clust
 	if err := in.Validate(); err != nil {
 		return VMLevelResult{}, err
 	}
-	if err := clusterCfg.Validate(); err != nil {
-		return VMLevelResult{}, err
-	}
-	base := in.Actual[0]
-	if cfg.PlanStep != base.Step {
-		return VMLevelResult{}, fmt.Errorf("sim: plan step %v != power step %v", cfg.PlanStep, base.Step)
-	}
-	numSites := len(in.Actual)
-	T := base.Len()
-	reg := in.Obs
-	if reg == nil {
-		reg = cfg.Obs
-	} else if cfg.Obs == nil {
-		cfg.Obs = reg
-	}
-	defer obs.Time(reg, "sim.vmlevel.run")()
-	if reg != nil {
-		for _, b := range in.Bundles {
-			b.SetObs(reg)
-		}
-	}
-	sched, err := core.NewScheduler(cfg, numSites, T)
+	eng, err := NewVMEngine(cfg, in, clusterCfg)
 	if err != nil {
 		return VMLevelResult{}, err
 	}
-	vecs := newVMVecs(reg, cfg.Policy, numSites)
-	util := effectiveUtil(cfg)
+	defer obs.Time(eng.reg, "sim.vmlevel.run")()
 
-	sites := make([]*cluster.Site, numSites)
-	for i := range sites {
-		if sites[i], err = cluster.New(clusterCfg); err != nil {
+	// Assemble arrivals exactly as the streaming path would see them:
+	// demand plus the app's VMs, ordered by Start.
+	vmsByApp := map[int][]workload.VM{}
+	for _, a := range apps {
+		vmsByApp[a.ID] = a.VMs
+	}
+	arrivals := make([]AppArrival, 0, len(in.Apps))
+	for _, d := range in.Apps {
+		arrivals = append(arrivals, AppArrival{Demand: d, VMs: vmsByApp[d.ID]})
+	}
+	sort.Slice(arrivals, func(i, j int) bool {
+		return arrivals[i].Demand.Start.Before(arrivals[j].Demand.Start)
+	})
+
+	next := 0
+	for !eng.Done() {
+		now := eng.Now()
+		var batch []AppArrival
+		for next < len(arrivals) && !arrivals[next].Demand.Start.After(now) {
+			batch = append(batch, arrivals[next])
+			next++
+		}
+		if _, err := eng.Advance(batch); err != nil {
 			return VMLevelResult{}, err
 		}
 	}
-
-	res := VMLevelResult{
-		Policy:   cfg.Policy,
-		Transfer: trace.New(base.Start, base.Step, T),
-	}
-
-	// Index apps and their stable VMs.
-	type appState struct {
-		demand  core.AppDemand
-		plan    core.Plan
-		vms     []workload.VM // stable VMs only
-		endStep int
-		started bool
-	}
-	byID := map[int]*appState{}
-	var order []*appState
-	for _, d := range in.Apps {
-		st := &appState{demand: d, endStep: T}
-		if !d.End.IsZero() {
-			if e := base.IndexAt(d.End); e >= 0 {
-				st.endStep = e + 1
-			}
-		}
-		byID[d.ID] = st
-		order = append(order, st)
-	}
-	for _, a := range apps {
-		st, ok := byID[a.ID]
-		if !ok {
-			continue
-		}
-		for _, vm := range a.VMs {
-			if vm.Class == workload.Stable {
-				st.vms = append(st.vms, vm)
-			}
-		}
-	}
-	sort.Slice(order, func(i, j int) bool { return order[i].demand.Start.Before(order[j].demand.Start) })
-
-	// vmSite tracks where each stable VM runs (-1 = not running).
-	vmSite := map[int]int{}
-	stepsPerDay := int(24 * time.Hour / base.Step)
-	if stepsPerDay < 1 {
-		stepsPerDay = 1
-	}
-
-	for t := 0; t < T; t++ {
-		now := base.TimeAt(t)
-		predCap, stableCap := capacityFns(in, base, util, now, t, stepsPerDay, T)
-
-		// 1. Apply power to every site. Evicted VMs are marked displaced
-		// (site -1) and re-homed in step 4.
-		for sIdx, site := range sites {
-			for _, vm := range site.SetPowerEvict(in.Actual[sIdx].Values[t]) {
-				vmSite[vm.ID] = -1
-				reg.Emit(obs.Event{Type: obs.VMEvicted, Step: t, App: vm.AppID, Site: sIdx, Dst: -1,
-					VM: vm.ID, Cores: float64(vm.Cores), GB: float64(vm.MemoryGB)})
-				vecs.evict(sIdx)
-			}
-		}
-
-		// 2. Plan: admit arriving apps; replan daily for MIP policies.
-		for _, st := range order {
-			if st.started || st.demand.Start.After(now) || t >= st.endStep {
-				continue
-			}
-			if st.demand.StableCores > 0 {
-				plan, err := sched.Place(st.demand, t, st.endStep, predCap, stableCap, nil, nil)
-				if err != nil {
-					return VMLevelResult{}, err
-				}
-				st.plan = plan
-			}
-			st.started = true
-		}
-		if cfg.Policy != core.Greedy && t > 0 && t%stepsPerDay == 0 {
-			for _, st := range order {
-				if !st.started || t >= st.endStep || st.plan.Alloc == nil {
-					continue
-				}
-				cur := make([]float64, numSites)
-				for _, vm := range st.vms {
-					if s, ok := vmSite[vm.ID]; ok && s >= 0 {
-						cur[s] += float64(vm.Cores)
-					}
-				}
-				sched.Uncommit(st.plan, t)
-				plan, err := sched.Place(st.demand, t, st.endStep, predCap, stableCap, cur, st.plan.Alloc)
-				if err != nil {
-					return VMLevelResult{}, err
-				}
-				st.plan = plan
-			}
-		}
-
-		// 3. Reconcile each app's VMs against its plan: move VMs from
-		// over-target sites to under-target sites with real headroom.
-		for _, st := range order {
-			if !st.started || t >= st.endStep || st.plan.Alloc == nil {
-				continue
-			}
-			res.reconcile(st.vms, st.plan, t, sites, vmSite, reg, vecs)
-		}
-
-		// 4. Re-home displaced VMs and start never-placed VMs at their
-		// app's planned sites (or anywhere with room).
-		for _, st := range order {
-			if !st.started || t >= st.endStep {
-				continue
-			}
-			for _, vm := range st.vms {
-				if s, ok := vmSite[vm.ID]; ok && s >= 0 {
-					continue
-				}
-				if end := vm.End(); !end.IsZero() && !end.After(now) {
-					continue
-				}
-				placed := placeVM(vm, st.plan, t, sites, vmSite)
-				if placed >= 0 {
-					// Relaunch after displacement costs traffic; first
-					// boot is free.
-					if _, seen := vmSite[vm.ID]; seen {
-						gb := float64(vm.MemoryGB)
-						res.Transfer.Values[t] += gb
-						res.Moves++
-						reg.Emit(obs.Event{Type: obs.VMMoved, Step: t, App: vm.AppID, Site: -1,
-							Dst: placed, VM: vm.ID, Cores: float64(vm.Cores), GB: gb, Detail: "rehome"})
-						vecs.move(-1, placed, gb)
-					}
-					vmSite[vm.ID] = placed
-				} else {
-					res.FailedPlacements++
-					reg.Inc("sim.vmlevel.failed_placements")
-					reg.Emit(obs.Event{Type: obs.VMPlacementFail, Step: t, App: vm.AppID, Site: -1, Dst: -1,
-						VM: vm.ID, Cores: float64(vm.Cores)})
-					vecs.fail(vm.AppID)
-				}
-			}
-		}
-
-		// 5. Departures.
-		for _, st := range order {
-			for _, vm := range st.vms {
-				if s, ok := vmSite[vm.ID]; ok && s >= 0 {
-					if end := vm.End(); !end.IsZero() && !end.After(now) {
-						sites[s].Remove(vm.ID)
-						delete(vmSite, vm.ID)
-					}
-				}
-			}
-		}
-
-		// Fragmentation bookkeeping.
-		var frag float64
-		for _, site := range sites {
-			frag += site.Snapshot().Fragmentation
-		}
-		res.Fragmentation += frag / float64(numSites)
-		reg.Observe("sim.vmlevel.step_transfer_gb", res.Transfer.Values[t])
-	}
-	res.Fragmentation /= float64(T)
-	return res, nil
-}
-
-// reconcile moves an app's VMs between sites until per-site core sums are
-// within one VM of the plan, charging traffic for each move.
-func (r *VMLevelResult) reconcile(vms []workload.VM, plan core.Plan, t int, sites []*cluster.Site, vmSite map[int]int, reg *obs.Registry, vecs *vmVecs) {
-	numSites := len(sites)
-	cur := make([]float64, numSites)
-	bySite := make([][]workload.VM, numSites)
-	for _, vm := range vms {
-		if s, ok := vmSite[vm.ID]; ok && s >= 0 {
-			cur[s] += float64(vm.Cores)
-			bySite[s] = append(bySite[s], vm)
-		}
-	}
-	for src := 0; src < numSites; src++ {
-		over := cur[src] - plan.Alloc[src][t]
-		for _, vm := range bySite[src] {
-			if over < float64(vm.Cores) {
-				continue // moving this VM would overshoot
-			}
-			// Find the most under-target destination that admits it.
-			dst, worst := -1, 1e-9
-			for d := 0; d < numSites; d++ {
-				if d == src {
-					continue
-				}
-				if under := plan.Alloc[d][t] - cur[d]; under > worst {
-					dst, worst = d, under
-				}
-			}
-			if dst < 0 {
-				break
-			}
-			if !sites[dst].Admit(vm) {
-				continue // fragmentation or admission refuses; stay put
-			}
-			sites[src].Remove(vm.ID)
-			vmSite[vm.ID] = dst
-			cur[src] -= float64(vm.Cores)
-			cur[dst] += float64(vm.Cores)
-			over -= float64(vm.Cores)
-			gb := float64(vm.MemoryGB)
-			r.Transfer.Values[t] += gb
-			r.Moves++
-			reg.Emit(obs.Event{Type: obs.VMMoved, Step: t, App: vm.AppID, Site: src, Dst: dst,
-				VM: vm.ID, Cores: float64(vm.Cores), GB: gb, Detail: "reconcile"})
-			vecs.move(src, dst, gb)
-		}
-	}
+	// Apps whose Start lies beyond the timeline never arrive; the batch
+	// run simply drops them, as the loop above does implicitly.
+	return eng.Result(), nil
 }
 
 // placeVM starts a VM at the app's most under-target site with room,

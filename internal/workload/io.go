@@ -11,6 +11,13 @@ import (
 // CSV interchange for VM traces, so real traces (e.g. the public Azure VM
 // dataset) can be converted into the simulator's format and synthetic
 // traces can be exported for inspection.
+//
+// Column semantics: `class` is "stable" or "degradable", `arrival` is
+// RFC 3339, and `lifetime_s = 0` means the VM is immortal — it runs until
+// the end of whatever simulation consumes it (VM.End() returns the zero
+// time). Long-running services are exported this way; a VM that really
+// lives zero seconds cannot be expressed, matching the generator, which
+// never emits sub-minute lifetimes.
 
 var vmHeader = []string{"id", "cores", "memory_gb", "class", "arrival", "lifetime_s", "app_id"}
 

@@ -74,3 +74,43 @@ func TestReadCSVEmptyTrace(t *testing.T) {
 		t.Errorf("empty trace parsed %d VMs", len(got))
 	}
 }
+
+// TestReadCSVZeroLifetimeImmortal pins the lifetime_s = 0 convention:
+// a zero lifetime parses successfully and means "runs until the end of
+// the simulation" (End() is the zero time), not "lives zero seconds".
+func TestReadCSVZeroLifetimeImmortal(t *testing.T) {
+	const in = "id,cores,memory_gb,class,arrival,lifetime_s,app_id\n" +
+		"1,2,4,stable,2020-05-01T00:00:00Z,0,7\n" +
+		"2,1,2,degradable,2020-05-01T01:00:00Z,3600,7\n"
+	vms, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vms) != 2 {
+		t.Fatalf("parsed %d VMs, want 2", len(vms))
+	}
+	if vms[0].Lifetime != 0 {
+		t.Errorf("lifetime_s=0 parsed as %v, want 0", vms[0].Lifetime)
+	}
+	if !vms[0].End().IsZero() {
+		t.Errorf("immortal VM End() = %v, want zero time", vms[0].End())
+	}
+	if vms[1].End().IsZero() {
+		t.Error("finite-lifetime VM End() should not be zero")
+	}
+	if got, want := vms[1].End(), vms[1].Arrival.Add(time.Hour); !got.Equal(want) {
+		t.Errorf("End() = %v, want %v", got, want)
+	}
+	// The convention round-trips through WriteCSV.
+	var sb strings.Builder
+	if err := WriteCSV(&sb, vms); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0].Lifetime != 0 || !back[0].End().IsZero() {
+		t.Errorf("round-trip broke the immortal convention: %+v", back[0])
+	}
+}

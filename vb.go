@@ -145,6 +145,31 @@ type (
 	VMLevelResult = sim.VMLevelResult
 )
 
+// Online stepping engines (the cores behind RunPolicy/RunPolicyVMLevel,
+// exported for long-lived daemons such as cmd/vbserve).
+type (
+	// SimEngine advances the fluid core-level simulation one plan step at
+	// a time; feeding it the batch arrivals in Start order reproduces
+	// RunPolicy bit-for-bit.
+	SimEngine = sim.Engine
+	// SimStepReport is one SimEngine step's decision record.
+	SimStepReport = sim.StepReport
+	// VMEngine advances the VM-granularity simulation one plan step at a
+	// time, and snapshots/restores its complete decision state (apps,
+	// plans, server packing, scheduler ledgers, warm solver caches).
+	VMEngine = sim.VMEngine
+	// AppArrival is one application entering a streaming engine: its
+	// aggregate demand plus the discrete VMs behind it.
+	AppArrival = sim.AppArrival
+	// VMStepReport is one VMEngine step's decision record (admissions,
+	// evictions, moves, failures), suitable for a JSONL decision log.
+	VMStepReport = sim.VMStepReport
+	// VMMove is one inter-site VM migration in a VMStepReport.
+	VMMove = sim.VMMove
+	// SiteState is a cluster site's complete serializable state.
+	SiteState = cluster.SiteState
+)
+
 // Table 1 policies.
 const (
 	PolicyGreedy  = core.Greedy
@@ -317,6 +342,26 @@ func RunPolicy(cfg SchedulerConfig, in SimInput) (SimResult, error) { return sim
 // VMs behind in.Apps, matched by application ID.
 func RunPolicyVMLevel(cfg SchedulerConfig, in SimInput, apps []App, clusterCfg ClusterConfig) (VMLevelResult, error) {
 	return sim.RunVMLevel(cfg, in, apps, clusterCfg)
+}
+
+// NewSimEngine builds a streaming core-level engine. Unlike RunPolicy,
+// in.Apps may be empty: demands arrive through Advance.
+func NewSimEngine(cfg SchedulerConfig, in SimInput) (*SimEngine, error) {
+	return sim.NewEngine(cfg, in)
+}
+
+// NewVMEngine builds a streaming VM-granularity engine. Unlike
+// RunPolicyVMLevel, in.Apps may be empty: applications arrive through
+// Advance.
+func NewVMEngine(cfg SchedulerConfig, in SimInput, clusterCfg ClusterConfig) (*VMEngine, error) {
+	return sim.NewVMEngine(cfg, in, clusterCfg)
+}
+
+// RestoreVMEngine rebuilds a VM engine from a Snapshot written by
+// VMEngine.Snapshot; the restored engine resumes producing bit-identical
+// decisions.
+func RestoreVMEngine(cfg SchedulerConfig, in SimInput, clusterCfg ClusterConfig, r io.Reader) (*VMEngine, error) {
+	return sim.RestoreVMEngine(cfg, in, clusterCfg, r)
 }
 
 // AllPolicies lists the paper's four Table 1 policies.

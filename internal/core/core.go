@@ -88,6 +88,10 @@ type Config struct {
 	// of the warm-started revised simplex. It exists for differential
 	// testing; production runs should leave it false.
 	SolverReference bool
+	// SolverWorkers >= 1 evaluates branch-and-bound nodes concurrently with
+	// that many workers; the result is bit-identical for any worker count.
+	// Zero keeps the serial solver loop.
+	SolverWorkers int
 	// Obs, when non-nil, receives scheduler metrics and trace events
 	// (solve timings, objective values, placement counters). A nil
 	// registry is a no-op and costs nothing on the hot path.

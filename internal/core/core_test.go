@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"time"
+
+	"github.com/vbcloud/vb/internal/obs"
 )
 
 var t0 = time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
@@ -438,5 +440,56 @@ func TestMIPOversubscribesGracefully(t *testing.T) {
 		if sum < 150-1e-6 {
 			t.Fatalf("step %d places %v cores of 150: soft capacity should not refuse demand", tt, sum)
 		}
+	}
+}
+
+// TestSolverWorkersObsCounters pins the solver-kernel observability wiring:
+// a parallel-solver scheduler must report basis counters through the
+// registry, and its placements must match the serial scheduler's.
+func TestSolverWorkersObsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := validConfig(MIP)
+	cfg.SolverWorkers = 2
+	cfg.Obs = reg
+	s, err := NewScheduler(cfg, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := constCap(500, 200)
+	plan, err := s.Place(demand(1, 100, 100, 4), 0, 8, pred, pred, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial, err := NewScheduler(validConfig(MIP), 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serial.Place(demand(1, 100, 100, 4), 0, 8, pred, pred, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for site := range plan.Alloc {
+		for tt := range plan.Alloc[site] {
+			if math.Abs(plan.Alloc[site][tt]-want.Alloc[site][tt]) > 1e-6 {
+				t.Fatalf("parallel plan diverges at site %d step %d: %v vs %v",
+					site, tt, plan.Alloc[site][tt], want.Alloc[site][tt])
+			}
+		}
+	}
+
+	if got := reg.Counter("mip.nodes.parallel"); got <= 0 {
+		t.Errorf("mip.nodes.parallel = %v, want > 0", got)
+	}
+	if got := reg.Counter("mip.nodes"); got <= 0 {
+		t.Errorf("mip.nodes = %v, want > 0", got)
+	}
+	// The refactor counter must exist even when no refactorization fired,
+	// and the eta-chain gauge must have recorded one sample per solve.
+	if _, ok := reg.Histogram("lp.eta.chain_len"); !ok {
+		t.Error("lp.eta.chain_len histogram not recorded")
+	}
+	if got := reg.Counter("lp.refactor.count"); got < 0 {
+		t.Errorf("lp.refactor.count = %v, want >= 0", got)
 	}
 }

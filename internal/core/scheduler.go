@@ -464,12 +464,18 @@ func (s *Scheduler) placeMIP(app AppDemand, nowStep, endStep int, predCap, stabl
 	sol, err := mip.Solve(mip.Problem{
 		Problem: lp.Problem{NumVars: numVars, Objective: obj, Constraints: cons, Upper: upper},
 		Integer: integer,
-	}, mip.Options{MaxNodes: s.cfg.mipNodes(), Warm: ws, Reference: s.cfg.SolverReference})
+	}, mip.Options{MaxNodes: s.cfg.mipNodes(), Warm: ws, Reference: s.cfg.SolverReference,
+		Workers: s.cfg.SolverWorkers})
 	if reg != nil {
 		d := time.Since(solveStart)
 		reg.ObserveDuration("mip.solve", d)
 		reg.Add("mip.nodes", float64(sol.Nodes))
 		reg.Add("lp.pivots", float64(sol.Pivots))
+		reg.Add("lp.refactor.count", float64(sol.Refactors))
+		reg.Observe("lp.eta.chain_len", float64(sol.EtaChainLen))
+		if s.cfg.SolverWorkers >= 1 {
+			reg.Add("mip.nodes.parallel", float64(sol.Nodes))
+		}
 		warmth := "cold"
 		if ws != nil {
 			if sol.WarmHit {
@@ -484,7 +490,8 @@ func (s *Scheduler) placeMIP(app AppDemand, nowStep, endStep int, predCap, stabl
 		s.vecs.warmstart.Inc(s.vecs.policy, appLabel, warmth)
 		if err == nil && sol.Status == lp.Optimal {
 			reg.Emit(obs.Event{Type: obs.MIPSolveFinish, Step: nowStep, App: app.ID, Site: -1, Dst: -1,
-				Cores: demand, DurNS: d.Nanoseconds(), Objective: sol.Objective, Detail: warmth})
+				Cores: demand, DurNS: d.Nanoseconds(), Objective: sol.Objective, Detail: warmth,
+				Pivots: sol.Pivots, Refactors: sol.Refactors, EtaLen: sol.EtaChainLen})
 		} else {
 			reg.Inc("mip.failures")
 		}

@@ -62,28 +62,59 @@ func randomProblem(rng *rand.Rand, withBounds bool) Problem {
 	return p
 }
 
-// checkAgainstReference solves p with both solvers and fails the test on any
-// status disagreement, objective mismatch beyond tol, or an infeasible/
-// suboptimal revised-solver answer.
+// solveDense is Solve on the retained dense product-form path; the third
+// leg of the differential triangle (sparse LU, dense, reference).
+func solveDense(p Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	in, err := NewInstanceDense(p)
+	if err != nil {
+		return Solution{}, err
+	}
+	st, err := in.SolveCurrent()
+	if err != nil {
+		return Solution{}, err
+	}
+	sol := Solution{Status: st, Pivots: in.Pivots()}
+	if st == Optimal {
+		sol.X = in.Values(nil)
+		for j, c := range p.Objective {
+			sol.Objective += c * sol.X[j]
+		}
+	}
+	return sol, nil
+}
+
+// checkAgainstReference solves p with all three solver paths — sparse-LU
+// revised (the default), the retained dense product-form revised solver,
+// and the Bland reference — and fails the test on any status disagreement,
+// objective mismatch beyond tol, or an infeasible/suboptimal answer.
 func checkAgainstReference(t *testing.T, p Problem, seed int64) {
 	t.Helper()
 	ref, errRef := SolveReference(p)
 	got, errGot := Solve(p)
-	if (errRef != nil) != (errGot != nil) {
-		t.Fatalf("seed %d: error mismatch: reference %v, revised %v", seed, errRef, errGot)
+	den, errDen := solveDense(p)
+	if (errRef != nil) != (errGot != nil) || (errRef != nil) != (errDen != nil) {
+		t.Fatalf("seed %d: error mismatch: reference %v, sparse %v, dense %v", seed, errRef, errGot, errDen)
 	}
 	if errRef != nil {
 		return
 	}
-	if ref.Status != got.Status {
-		t.Fatalf("seed %d: status mismatch: reference %v, revised %v\nproblem: %+v", seed, ref.Status, got.Status, p)
+	if ref.Status != got.Status || ref.Status != den.Status {
+		t.Fatalf("seed %d: status mismatch: reference %v, sparse %v, dense %v\nproblem: %+v",
+			seed, ref.Status, got.Status, den.Status, p)
 	}
 	if ref.Status != Optimal {
 		return
 	}
 	if math.Abs(ref.Objective-got.Objective) > 1e-6*(1+math.Abs(ref.Objective)) {
-		t.Fatalf("seed %d: objective mismatch: reference %.9g, revised %.9g\nref x=%v\ngot x=%v\nproblem: %+v",
+		t.Fatalf("seed %d: objective mismatch: reference %.9g, sparse %.9g\nref x=%v\ngot x=%v\nproblem: %+v",
 			seed, ref.Objective, got.Objective, ref.X, got.X, p)
+	}
+	if math.Abs(ref.Objective-den.Objective) > 1e-6*(1+math.Abs(ref.Objective)) {
+		t.Fatalf("seed %d: objective mismatch: reference %.9g, dense %.9g\nproblem: %+v",
+			seed, ref.Objective, den.Objective, p)
 	}
 	// The revised answer must itself be feasible (X within bounds, rows hold).
 	for j := 0; j < p.NumVars; j++ {

@@ -1,0 +1,263 @@
+package lp
+
+import "math"
+
+// factorizer abstracts the basis-inverse representation behind the revised
+// simplex. Two implementations exist:
+//
+//   - sparseLU (sparselu.go): the default. A sparse LU factorization of the
+//     basis with Markowitz-style pivot selection, updated in place by
+//     product-form eta transforms on each pivot.
+//   - denseFactor (below): the legacy explicit m×m product-form inverse,
+//     retained verbatim for differential testing and so snapshots written
+//     before the sparse kernel restore onto the exact arithmetic that
+//     produced them.
+//
+// All vectors are dense []float64 of length m. "Row space" indexes
+// constraint rows; "position space" indexes basis positions (w[i] pairs
+// with basis[i] and xB[i]).
+type factorizer interface {
+	// reset installs the exact identity factorization (all-slack crash
+	// basis) for an m-row instance.
+	reset(m int)
+	// refactor rebuilds the factorization from the instance's current basis
+	// columns. It returns false when the basis is numerically singular; the
+	// factor contents are then undefined until reset or a successful
+	// refactor. Implementations may deterministically permute in.basis.
+	refactor(in *Instance) bool
+	// ftranCol computes w = B⁻¹·A_q for entering column q, exploiting the
+	// column's sparsity.
+	ftranCol(in *Instance, q int, w []float64)
+	// ftran overwrites x (row space) with B⁻¹·x (position space).
+	ftran(x []float64)
+	// btran overwrites y (position space) with B⁻ᵀ·y (row space).
+	btran(y []float64)
+	// rowOfInverse writes row r of B⁻¹ (a row-space vector) into dst.
+	rowOfInverse(r int, dst []float64)
+	// update absorbs the pivot on row r with FTRAN result w. It returns
+	// false when the pivot cannot be absorbed stably (the caller must then
+	// refactor); on false the factorization is unchanged.
+	update(r int, w []float64) bool
+	// etaLen reports the current length of the update chain since the last
+	// refactorization (always 0 for the dense representation).
+	etaLen() int
+	// clone returns a deep copy sharing no memory with the receiver.
+	clone() factorizer
+	// copyFrom overwrites the receiver's state with src's. Both must be the
+	// same concrete type and dimension (clones of one instance).
+	copyFrom(src factorizer)
+}
+
+// denseFactor is the legacy basis representation: an explicit m×m row-major
+// inverse maintained by product-form row elimination. Its arithmetic — down
+// to summation order and the identity fast path — is kept bit-identical to
+// the pre-sparse solver so that decoded legacy snapshots replay the exact
+// pivot paths of the process that wrote them.
+type denseFactor struct {
+	m     int
+	binv  []float64 // m×m row-major B⁻¹
+	ident bool      // binv is exactly the identity (skip matvecs)
+	tmp   []float64 // m, ftran/btran scratch
+}
+
+func newDenseFactor(m int) *denseFactor {
+	f := &denseFactor{}
+	f.reset(m)
+	return f
+}
+
+func (f *denseFactor) reset(m int) {
+	if f.m != m || len(f.binv) != m*m {
+		f.m = m
+		f.binv = make([]float64, m*m)
+		f.tmp = make([]float64, m)
+	} else {
+		clear(f.binv)
+	}
+	for i := 0; i < m; i++ {
+		f.binv[i*m+i] = 1
+	}
+	f.ident = true
+}
+
+func (f *denseFactor) ftranCol(in *Instance, q int, w []float64) {
+	m := f.m
+	clear(w)
+	if q >= in.nStruct {
+		r := q - in.nStruct
+		if f.ident {
+			w[r] = 1
+			return
+		}
+		for i := 0; i < m; i++ {
+			w[i] = f.binv[i*m+r]
+		}
+		return
+	}
+	if f.ident {
+		for k := in.colPtr[q]; k < in.colPtr[q+1]; k++ {
+			w[in.colRow[k]] = in.colVal[k]
+		}
+		return
+	}
+	for k := in.colPtr[q]; k < in.colPtr[q+1]; k++ {
+		r, v := int(in.colRow[k]), in.colVal[k]
+		for i := 0; i < m; i++ {
+			w[i] += v * f.binv[i*m+r]
+		}
+	}
+}
+
+func (f *denseFactor) ftran(x []float64) {
+	if f.ident {
+		return
+	}
+	m := f.m
+	for i := 0; i < m; i++ {
+		row := f.binv[i*m : i*m+m]
+		var s float64
+		for k, a := range x {
+			if a != 0 {
+				s += row[k] * a
+			}
+		}
+		f.tmp[i] = s
+	}
+	copy(x, f.tmp[:m])
+}
+
+func (f *denseFactor) btran(y []float64) {
+	if f.ident {
+		return
+	}
+	m := f.m
+	clear(f.tmp[:m])
+	for i := 0; i < m; i++ {
+		if c := y[i]; c != 0 {
+			row := f.binv[i*m : i*m+m]
+			for k := range row {
+				f.tmp[k] += c * row[k]
+			}
+		}
+	}
+	copy(y, f.tmp[:m])
+}
+
+func (f *denseFactor) rowOfInverse(r int, dst []float64) {
+	if f.ident {
+		clear(dst)
+		dst[r] = 1
+		return
+	}
+	copy(dst, f.binv[r*f.m:r*f.m+f.m])
+}
+
+// update applies the pivot on row r by product-form row elimination.
+func (f *denseFactor) update(r int, w []float64) bool {
+	m := f.m
+	inv := 1 / w[r]
+	rowR := f.binv[r*m : r*m+m]
+	for k := range rowR {
+		rowR[k] *= inv
+	}
+	for i := 0; i < m; i++ {
+		if i == r {
+			continue
+		}
+		fi := w[i]
+		if fi == 0 {
+			continue
+		}
+		row := f.binv[i*m : i*m+m]
+		for k := range rowR {
+			row[k] -= fi * rowR[k]
+		}
+	}
+	f.ident = false
+	return true
+}
+
+func (f *denseFactor) etaLen() int { return 0 }
+
+func (f *denseFactor) clone() factorizer {
+	return &denseFactor{
+		m:     f.m,
+		binv:  append([]float64(nil), f.binv...),
+		ident: f.ident,
+		tmp:   make([]float64, f.m),
+	}
+}
+
+func (f *denseFactor) copyFrom(src factorizer) {
+	s := src.(*denseFactor)
+	f.m = s.m
+	f.binv = append(f.binv[:0], s.binv...)
+	f.ident = s.ident
+	if len(f.tmp) < s.m {
+		f.tmp = make([]float64, s.m)
+	}
+}
+
+// refactor rebuilds B⁻¹ from the basis columns by Gauss-Jordan elimination
+// with partial pivoting. Returns false if B is numerically singular (the
+// caller then falls back to the all-slack crash basis).
+func (f *denseFactor) refactor(in *Instance) bool {
+	m := in.m
+	if m == 0 {
+		return true
+	}
+	// bmat = B (column i = column of basis[i]), eliminated in place while
+	// the same operations build binv from the identity.
+	bmat := make([]float64, m*m)
+	for i, bj := range in.basis {
+		j := int(bj)
+		if j >= in.nStruct {
+			bmat[(j-in.nStruct)*m+i] = 1
+			continue
+		}
+		for k := in.colPtr[j]; k < in.colPtr[j+1]; k++ {
+			bmat[int(in.colRow[k])*m+i] = in.colVal[k]
+		}
+	}
+	f.reset(m)
+	f.ident = false
+	binv := f.binv
+	for col := 0; col < m; col++ {
+		// Partial pivot.
+		p, best := -1, pivotTol
+		for r := col; r < m; r++ {
+			if a := math.Abs(bmat[r*m+col]); a > best {
+				p, best = r, a
+			}
+		}
+		if p < 0 {
+			return false
+		}
+		if p != col {
+			for k := 0; k < m; k++ {
+				bmat[p*m+k], bmat[col*m+k] = bmat[col*m+k], bmat[p*m+k]
+				binv[p*m+k], binv[col*m+k] = binv[col*m+k], binv[p*m+k]
+			}
+			in.basis[p], in.basis[col] = in.basis[col], in.basis[p]
+		}
+		inv := 1 / bmat[col*m+col]
+		for k := 0; k < m; k++ {
+			bmat[col*m+k] *= inv
+			binv[col*m+k] *= inv
+		}
+		for r := 0; r < m; r++ {
+			if r == col {
+				continue
+			}
+			fv := bmat[r*m+col]
+			if fv == 0 {
+				continue
+			}
+			for k := 0; k < m; k++ {
+				bmat[r*m+k] -= fv * bmat[col*m+k]
+				binv[r*m+k] -= fv * binv[col*m+k]
+			}
+		}
+	}
+	return true
+}

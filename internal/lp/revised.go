@@ -28,12 +28,12 @@ const (
 
 // Solver tolerances.
 const (
-	feasTol  = 1e-7  // bound violation considered infeasible
-	costTol  = 1e-7  // reduced-cost optimality threshold
-	pivotTol = 1e-9  // minimum |w_i| for a row to block the ratio test
-	degenTol = 1e-9  // step sizes below this count as degenerate
-	tieTol   = 1e-7  // ratio-test tie window (relative to min ratio)
-	residTol = 1e-6  // row residual that triggers refactorization
+	feasTol  = 1e-7 // bound violation considered infeasible
+	costTol  = 1e-7 // reduced-cost optimality threshold
+	pivotTol = 1e-9 // minimum |w_i| for a row to block the ratio test
+	degenTol = 1e-9 // step sizes below this count as degenerate
+	tieTol   = 1e-7 // ratio-test tie window (relative to min ratio)
+	residTol = 1e-6 // row residual that triggers refactorization
 )
 
 // blandTrigger is how many consecutive degenerate pivots are tolerated
@@ -72,23 +72,26 @@ type Instance struct {
 	rowVal []float64
 
 	// Mutable solver state, preserved between solves for warm starting.
-	lo, hi    []float64
-	basis     []int32 // basis[i] = variable basic in row i
-	vstat     []int8  // len n
-	binv      []float64 // m×m row-major basis inverse
-	binvIdent bool      // binv is exactly the identity (skip matvecs)
-	xB        []float64 // len m, values of basic variables
-	ready     bool      // basis state is valid (false before first solve)
+	lo, hi []float64
+	basis  []int32    // basis[i] = variable basic in row i
+	vstat  []int8     // len n
+	fac    factorizer // basis representation (sparse LU by default)
+	facBad bool       // a mid-iteration refactorization failed; abort phase
+	xB     []float64  // len m, values of basic variables
+	ready  bool       // basis state is valid (false before first solve)
 
 	// Scratch (reused every iteration).
-	accum  []float64 // m
-	w      []float64 // m, FTRAN result B⁻¹A_q
-	y      []float64 // m, BTRAN result
-	d      []float64 // n, reduced costs (maintained incrementally in phase 2)
-	dExact bool
-	cb1    []int8 // m, phase-1 cost markers
+	accum      []float64 // m
+	w          []float64 // m, FTRAN result B⁻¹A_q
+	y          []float64 // m, BTRAN result
+	rowScratch []float64 // m, row of B⁻¹ for the incremental price update
+	valScratch []float64 // n, full value vector for residual/objective sweeps
+	d          []float64 // n, reduced costs (maintained incrementally in phase 2)
+	dExact     bool
+	cb1        []int8 // m, phase-1 cost markers
 
-	pivots int64
+	pivots    int64
+	refactors int64
 }
 
 // NewInstance compiles p. The problem must already be valid (see
@@ -103,23 +106,25 @@ func NewInstance(p Problem) (*Instance, error) {
 	n := ns + m
 	in := &Instance{
 		m: m, nStruct: ns, n: n,
-		maximize: p.Maximize,
-		cmin:     make([]float64, n),
-		b:        make([]float64, m),
-		senses:   make([]Sense, m),
-		baseLo:   make([]float64, n),
-		baseHi:   make([]float64, n),
-		lo:       make([]float64, n),
-		hi:       make([]float64, n),
-		basis:    make([]int32, m),
-		vstat:    make([]int8, n),
-		binv:     make([]float64, m*m),
-		xB:       make([]float64, m),
-		accum:    make([]float64, m),
-		w:        make([]float64, m),
-		y:        make([]float64, m),
-		d:        make([]float64, n),
-		cb1:      make([]int8, m),
+		maximize:   p.Maximize,
+		cmin:       make([]float64, n),
+		b:          make([]float64, m),
+		senses:     make([]Sense, m),
+		baseLo:     make([]float64, n),
+		baseHi:     make([]float64, n),
+		lo:         make([]float64, n),
+		hi:         make([]float64, n),
+		basis:      make([]int32, m),
+		vstat:      make([]int8, n),
+		fac:        newSparseLU(m),
+		xB:         make([]float64, m),
+		accum:      make([]float64, m),
+		w:          make([]float64, m),
+		y:          make([]float64, m),
+		rowScratch: make([]float64, m),
+		valScratch: make([]float64, n),
+		d:          make([]float64, n),
+		cb1:        make([]int8, m),
 	}
 	// Count nonzeros, then fill CSC and the row-major mirror.
 	nnz := 0
@@ -165,6 +170,19 @@ func NewInstance(p Problem) (*Instance, error) {
 		_ = i
 	}
 	in.loadData(p)
+	return in, nil
+}
+
+// NewInstanceDense compiles p like NewInstance but installs the legacy
+// dense product-form basis inverse instead of the sparse LU. It exists for
+// differential testing, fleet-scale baseline benchmarks, and restoring
+// snapshots written by pre-sparse builds onto their original arithmetic.
+func NewInstanceDense(p Problem) (*Instance, error) {
+	in, err := NewInstance(p)
+	if err != nil {
+		return nil, err
+	}
+	in.fac = newDenseFactor(in.m)
 	return in, nil
 }
 
@@ -281,10 +299,11 @@ func (in *Instance) Values(dst []float64) []float64 {
 
 // ObjectiveValue returns c·x in the problem's own sense.
 func (in *Instance) ObjectiveValue() float64 {
+	vals := in.fillValues()
 	var v float64
 	for j := 0; j < in.nStruct; j++ {
 		if in.cmin[j] != 0 {
-			v += in.cmin[j] * in.valueOf(j)
+			v += in.cmin[j] * vals[j]
 		}
 	}
 	if in.maximize {
@@ -293,17 +312,19 @@ func (in *Instance) ObjectiveValue() float64 {
 	return v
 }
 
-// valueOf returns variable j's current value whether basic or nonbasic.
-func (in *Instance) valueOf(j int) float64 {
-	if in.vstat[j] == vsBasic {
-		for i, bj := range in.basis {
-			if int(bj) == j {
-				return in.xB[i]
-			}
-		}
-		return 0
+// fillValues writes every variable's current value — bound value for
+// nonbasics, xB for basics — into the shared scratch and returns it. One
+// O(n+m) sweep replaces a per-variable O(m) basis scan in the residual and
+// objective evaluations.
+func (in *Instance) fillValues() []float64 {
+	vals := in.valScratch
+	for j := 0; j < in.n; j++ {
+		vals[j] = in.value(j)
 	}
-	return in.value(j)
+	for i, bj := range in.basis {
+		vals[bj] = in.xB[i]
+	}
+	return vals
 }
 
 // value returns nonbasic variable j's value implied by its status.
@@ -333,6 +354,7 @@ func (in *Instance) SolveCurrent() (Status, error) {
 	var st Status
 	var err error
 	for attempt := 0; attempt < 3; attempt++ {
+		in.facBad = false
 		in.computeXB()
 		st, err = in.phase1()
 		if err == nil && st == Optimal {
@@ -372,16 +394,8 @@ func (in *Instance) crash() {
 		in.basis[i] = int32(in.nStruct + i)
 		in.vstat[in.nStruct+i] = vsBasic
 	}
-	in.setIdentity()
+	in.fac.reset(in.m)
 	in.ready = true
-}
-
-func (in *Instance) setIdentity() {
-	clear(in.binv)
-	for i := 0; i < in.m; i++ {
-		in.binv[i*in.m+i] = 1
-	}
-	in.binvIdent = true
 }
 
 // repairStatuses fixes nonbasic statuses that bound updates invalidated
@@ -429,50 +443,13 @@ func (in *Instance) computeXB() {
 			in.accum[j-in.nStruct] -= v
 		}
 	}
-	if in.binvIdent {
-		copy(in.xB, in.accum)
-		return
-	}
-	m := in.m
-	for i := 0; i < m; i++ {
-		row := in.binv[i*m : i*m+m]
-		var s float64
-		for k, a := range in.accum {
-			if a != 0 {
-				s += row[k] * a
-			}
-		}
-		in.xB[i] = s
-	}
+	in.fac.ftran(in.accum)
+	copy(in.xB, in.accum)
 }
 
 // ftran computes w = B⁻¹·A_q for entering column q.
 func (in *Instance) ftran(q int) {
-	m := in.m
-	clear(in.w)
-	if q >= in.nStruct {
-		r := q - in.nStruct
-		if in.binvIdent {
-			in.w[r] = 1
-			return
-		}
-		for i := 0; i < m; i++ {
-			in.w[i] = in.binv[i*m+r]
-		}
-		return
-	}
-	if in.binvIdent {
-		for k := in.colPtr[q]; k < in.colPtr[q+1]; k++ {
-			in.w[in.colRow[k]] = in.colVal[k]
-		}
-		return
-	}
-	for k := in.colPtr[q]; k < in.colPtr[q+1]; k++ {
-		r, v := int(in.colRow[k]), in.colVal[k]
-		for i := 0; i < m; i++ {
-			in.w[i] += v * in.binv[i*m+r]
-		}
-	}
+	in.fac.ftranCol(in, q, in.w)
 }
 
 // colDot returns y·A_j for column j (slack columns are unit vectors).
@@ -485,30 +462,6 @@ func (in *Instance) colDot(y []float64, j int) float64 {
 		s += y[in.colRow[k]] * in.colVal[k]
 	}
 	return s
-}
-
-// updateBinv applies the pivot on row r with the current FTRAN result w.
-func (in *Instance) updateBinv(r int) {
-	m := in.m
-	inv := 1 / in.w[r]
-	rowR := in.binv[r*m : r*m+m]
-	for k := range rowR {
-		rowR[k] *= inv
-	}
-	for i := 0; i < m; i++ {
-		if i == r {
-			continue
-		}
-		f := in.w[i]
-		if f == 0 {
-			continue
-		}
-		row := in.binv[i*m : i*m+m]
-		for k := range rowR {
-			row[k] -= f * rowR[k]
-		}
-	}
-	in.binvIdent = false
 }
 
 // phase1 drives the basic variables inside their bounds, minimizing the sum
@@ -537,23 +490,10 @@ func (in *Instance) phase1() (Status, error) {
 			return Optimal, nil
 		}
 		// BTRAN with the composite cost: y = cb1ᵀ·B⁻¹.
-		m := in.m
-		clear(in.y)
-		if in.binvIdent {
-			for i := 0; i < m; i++ {
-				in.y[i] = float64(in.cb1[i])
-			}
-		} else {
-			for i := 0; i < m; i++ {
-				if c := in.cb1[i]; c != 0 {
-					f := float64(c)
-					row := in.binv[i*m : i*m+m]
-					for k := range row {
-						in.y[k] += f * row[k]
-					}
-				}
-			}
+		for i := 0; i < in.m; i++ {
+			in.y[i] = float64(in.cb1[i])
 		}
+		in.fac.btran(in.y)
 		enter, dir := in.priceFromY(bland)
 		if enter < 0 {
 			return Infeasible, nil
@@ -564,6 +504,9 @@ func (in *Instance) phase1() (Status, error) {
 			return Optimal, fmt.Errorf("lp: phase-1 ratio test found no blocking bound (m=%d n=%d)", in.m, in.n)
 		}
 		in.applyStep(enter, dir, t, leave, toUpper, flip, false)
+		if in.facBad {
+			return Optimal, fmt.Errorf("lp: basis refactorization failed mid-phase-1 (m=%d n=%d)", in.m, in.n)
+		}
 		if t <= degenTol {
 			if degen++; degen > blandTrigger {
 				bland = true
@@ -778,7 +721,15 @@ func (in *Instance) applyStep(enter, dir int, t float64, leave int, toUpper, fli
 	}
 	in.basis[leave] = int32(enter)
 	in.vstat[enter] = vsBasic
-	in.updateBinv(leave)
+	if !in.fac.update(leave, in.w) {
+		// The eta chain is full or the pivot is too small to absorb:
+		// refactorize from the (already updated) basis instead. A singular
+		// refactorization poisons the phase loop via facBad, which routes
+		// back through SolveCurrent's crash-and-retry.
+		if !in.refactorize() {
+			in.facBad = true
+		}
+	}
 	in.xB[leave] = v
 	in.pivots++
 }
@@ -798,32 +749,13 @@ func (in *Instance) updateD(leave, enter, out int) {
 		in.d[out] = 0
 		return
 	}
-	var rowR []float64
-	if !in.binvIdent {
-		rowR = in.binv[leave*m : leave*m+m]
-	}
+	rowR := in.rowScratch[:m]
+	in.fac.rowOfInverse(leave, rowR)
 	for j := 0; j < in.n; j++ {
 		if in.vstat[j] == vsBasic || j == enter {
 			continue
 		}
-		var alpha float64
-		if rowR == nil {
-			if j >= in.nStruct {
-				if j-in.nStruct == leave {
-					alpha = 1
-				}
-			} else {
-				for k := in.colPtr[j]; k < in.colPtr[j+1]; k++ {
-					if int(in.colRow[k]) == leave {
-						alpha = in.colVal[k]
-						break
-					}
-				}
-			}
-		} else {
-			alpha = in.colDot(rowR, j)
-		}
-		if alpha != 0 {
+		if alpha := in.colDot(rowR, j); alpha != 0 {
 			in.d[j] -= ratio * alpha
 		}
 	}
@@ -834,22 +766,10 @@ func (in *Instance) updateD(leave, enter, out int) {
 // refreshD recomputes the phase-2 reduced costs exactly:
 // d_j = c_j - (c_Bᵀ·B⁻¹)·A_j.
 func (in *Instance) refreshD() {
-	m := in.m
-	clear(in.y)
-	if in.binvIdent {
-		for i := 0; i < m; i++ {
-			in.y[i] = in.cmin[in.basis[i]]
-		}
-	} else {
-		for i := 0; i < m; i++ {
-			if c := in.cmin[in.basis[i]]; c != 0 {
-				row := in.binv[i*m : i*m+m]
-				for k := range row {
-					in.y[k] += c * row[k]
-				}
-			}
-		}
+	for i := 0; i < in.m; i++ {
+		in.y[i] = in.cmin[in.basis[i]]
 	}
+	in.fac.btran(in.y)
 	for j := 0; j < in.n; j++ {
 		if in.vstat[j] == vsBasic {
 			in.d[j] = 0
@@ -917,6 +837,9 @@ func (in *Instance) phase2() (Status, error) {
 			return Unbounded, nil
 		}
 		in.applyStep(enter, dir, t, leave, toUpper, flip, true)
+		if in.facBad {
+			return Optimal, fmt.Errorf("lp: basis refactorization failed mid-phase-2 (m=%d n=%d)", in.m, in.n)
+		}
 		if !flip {
 			in.dExact = false
 		}
@@ -986,12 +909,13 @@ func (in *Instance) ratioPhase2(enter, dir int, bland bool) (t float64, leave in
 // residualOK verifies Ax + s = b actually holds at the claimed optimum,
 // catching accumulated factorization error.
 func (in *Instance) residualOK() bool {
+	vals := in.fillValues()
 	for i := 0; i < in.m; i++ {
 		var lhs float64
 		for k := in.rowPtr[i]; k < in.rowPtr[i+1]; k++ {
-			lhs += in.rowVal[k] * in.valueRow(int(in.rowCol[k]))
+			lhs += in.rowVal[k] * vals[in.rowCol[k]]
 		}
-		lhs += in.valueRow(in.nStruct + i)
+		lhs += vals[in.nStruct+i]
 		if diff := lhs - in.b[i]; diff > residTol || diff < -residTol {
 			return false
 		}
@@ -999,69 +923,25 @@ func (in *Instance) residualOK() bool {
 	return true
 }
 
-// valueRow is valueOf with the basic lookup done through a linear scan;
-// residual checks are rare so clarity wins over an index map.
-func (in *Instance) valueRow(j int) float64 { return in.valueOf(j) }
-
-// refactorize rebuilds B⁻¹ from the basis columns by Gauss-Jordan
-// elimination with partial pivoting. Returns false if B is numerically
-// singular (the caller then falls back to the all-slack crash basis).
+// refactorize rebuilds the basis factorization from the current basis
+// columns. Returns false if B is numerically singular (the caller then
+// falls back to the all-slack crash basis).
 func (in *Instance) refactorize() bool {
-	m := in.m
-	if m == 0 {
-		return true
-	}
-	// bmat = B (column i = column of basis[i]), eliminated in place while
-	// the same operations build binv from the identity.
-	bmat := make([]float64, m*m)
-	for i, bj := range in.basis {
-		j := int(bj)
-		if j >= in.nStruct {
-			bmat[(j-in.nStruct)*m+i] = 1
-			continue
-		}
-		for k := in.colPtr[j]; k < in.colPtr[j+1]; k++ {
-			bmat[int(in.colRow[k])*m+i] = in.colVal[k]
-		}
-	}
-	in.setIdentity()
-	in.binvIdent = false
-	for col := 0; col < m; col++ {
-		// Partial pivot.
-		p, best := -1, pivotTol
-		for r := col; r < m; r++ {
-			if a := math.Abs(bmat[r*m+col]); a > best {
-				p, best = r, a
-			}
-		}
-		if p < 0 {
-			return false
-		}
-		if p != col {
-			for k := 0; k < m; k++ {
-				bmat[p*m+k], bmat[col*m+k] = bmat[col*m+k], bmat[p*m+k]
-				in.binv[p*m+k], in.binv[col*m+k] = in.binv[col*m+k], in.binv[p*m+k]
-			}
-			in.basis[p], in.basis[col] = in.basis[col], in.basis[p]
-		}
-		inv := 1 / bmat[col*m+col]
-		for k := 0; k < m; k++ {
-			bmat[col*m+k] *= inv
-			in.binv[col*m+k] *= inv
-		}
-		for r := 0; r < m; r++ {
-			if r == col {
-				continue
-			}
-			f := bmat[r*m+col]
-			if f == 0 {
-				continue
-			}
-			for k := 0; k < m; k++ {
-				bmat[r*m+k] -= f * bmat[col*m+k]
-				in.binv[r*m+k] -= f * in.binv[col*m+k]
-			}
-		}
-	}
-	return true
+	in.refactors++
+	return in.fac.refactor(in)
+}
+
+// Refactors returns the cumulative basis refactorization count across all
+// solves (explicit rebuilds plus eta-chain-triggered ones).
+func (in *Instance) Refactors() int64 { return in.refactors }
+
+// EtaChainLen returns the current length of the factorization's update
+// chain (always 0 for the dense representation).
+func (in *Instance) EtaChainLen() int { return in.fac.etaLen() }
+
+// DenseBasis reports whether the instance carries the legacy dense
+// product-form inverse rather than the sparse LU.
+func (in *Instance) DenseBasis() bool {
+	_, ok := in.fac.(*denseFactor)
+	return ok
 }

@@ -1,0 +1,185 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSparseForcedRefactorization shrinks the eta-chain budget to near zero
+// so almost every pivot forces a full Markowitz refactorization, then
+// re-runs the bounded differential pool. Any divergence between the
+// constantly-refactorized sparse path and the reference means refactor and
+// eta-update disagree about the basis they represent.
+func TestSparseForcedRefactorization(t *testing.T) {
+	oldCap := etaChainCap
+	etaChainCap = 1
+	defer func() { etaChainCap = oldCap }()
+
+	iters := 800
+	if testing.Short() {
+		iters = 100
+	}
+	for s := 0; s < iters; s++ {
+		rng := rand.New(rand.NewSource(int64(5_000_000 + s)))
+		checkAgainstReference(t, randomProblem(rng, true), int64(s))
+	}
+
+	// And the budget really is the trigger: a multi-pivot solve under cap 1
+	// must refactorize, under the default cap it never needs to.
+	p := degenerateProblem(rand.New(rand.NewSource(42)), 12)
+	in, err := NewInstance(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.SolveCurrent(); err != nil {
+		t.Fatal(err)
+	}
+	if in.Pivots() > 1 && in.Refactors() == 0 {
+		t.Errorf("cap-1 solve took %d pivots with 0 refactorizations", in.Pivots())
+	}
+	if got := in.EtaChainLen(); got > 1 {
+		t.Errorf("eta chain %d exceeds cap 1", got)
+	}
+}
+
+// TestSparseDegenerate stresses long degenerate pivot runs (many tied basic
+// variables at identical bounds), where stale eta chains are most likely to
+// pick tiny pivots and the update-refusal path has to engage.
+func TestSparseDegenerate(t *testing.T) {
+	iters := 400
+	if testing.Short() {
+		iters = 60
+	}
+	for s := 0; s < iters; s++ {
+		rng := rand.New(rand.NewSource(int64(6_000_000 + s)))
+		p := degenerateProblem(rng, 4+rng.Intn(10))
+		checkAgainstReference(t, p, int64(s))
+	}
+}
+
+// degenerateProblem builds a transportation-like LP whose rows share RHS
+// values and coefficients drawn from a tiny set, so many bases are tied and
+// most ratio tests produce zero-length steps.
+func degenerateProblem(rng *rand.Rand, n int) Problem {
+	p := Problem{
+		NumVars:   n,
+		Objective: make([]float64, n),
+		Maximize:  rng.Intn(2) == 0,
+		Upper:     make([]float64, n),
+	}
+	for j := 0; j < n; j++ {
+		p.Objective[j] = float64(rng.Intn(3)) // heavy objective ties
+		p.Upper[j] = float64(1 + rng.Intn(3))
+	}
+	m := 2 + rng.Intn(n)
+	rhs := float64(1 + rng.Intn(3)) // one shared RHS: mass degeneracy
+	for i := 0; i < m; i++ {
+		c := Constraint{Coeffs: make([]float64, n), Sense: Sense(rng.Intn(3)), RHS: rhs}
+		nz := 0
+		for j := range c.Coeffs {
+			if rng.Intn(2) == 0 {
+				c.Coeffs[j] = float64(1 + rng.Intn(2)) // coefficients in {1,2}
+				nz++
+			}
+		}
+		if nz == 0 {
+			c.Coeffs[rng.Intn(n)] = 1
+		}
+		if c.Sense == GE {
+			c.RHS = 0 // GE rows trivially satisfiable but still degenerate
+		}
+		p.Constraints = append(p.Constraints, c)
+	}
+	return p
+}
+
+// TestSparseIllConditioned runs the differential triangle over problems
+// with coefficient magnitudes spread across six orders, where the
+// threshold test in the Markowitz pivot search and the eta pivot tolerance
+// carry the numerical load.
+func TestSparseIllConditioned(t *testing.T) {
+	iters := 400
+	if testing.Short() {
+		iters = 60
+	}
+	for s := 0; s < iters; s++ {
+		rng := rand.New(rand.NewSource(int64(7_000_000 + s)))
+		n := 2 + rng.Intn(6)
+		m := 2 + rng.Intn(6)
+		p := Problem{
+			NumVars:   n,
+			Objective: make([]float64, n),
+			Upper:     make([]float64, n),
+		}
+		for j := 0; j < n; j++ {
+			p.Objective[j] = rng.NormFloat64()
+			p.Upper[j] = 1 + rng.Float64()*9
+		}
+		for i := 0; i < m; i++ {
+			c := Constraint{Coeffs: make([]float64, n), Sense: LE, RHS: 1 + rng.Float64()*10}
+			nz := 0
+			for j := range c.Coeffs {
+				if rng.Intn(2) == 0 {
+					scale := math.Pow(10, float64(rng.Intn(7)-3)) // 1e-3 .. 1e3
+					c.Coeffs[j] = (1 + rng.Float64()) * scale
+					nz++
+				}
+			}
+			if nz == 0 {
+				c.Coeffs[rng.Intn(n)] = 1
+			}
+			p.Constraints = append(p.Constraints, c)
+		}
+		checkAgainstReference(t, p, int64(s))
+	}
+}
+
+// TestSparseWarmChain exercises a long warm-started solve sequence on one
+// instance — the daemon/branch-and-bound usage pattern — so the eta chain
+// actually grows across solves and periodic refactorization happens under
+// the default budget. Each re-solve is checked against a cold reference.
+func TestSparseWarmChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(8_000_001))
+	p := randomProblem(rng, true)
+	p = growProblem(rng, p, 18)
+	in, err := NewInstance(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p
+	q.Constraints = append([]Constraint(nil), p.Constraints...)
+	q.Objective = append([]float64(nil), p.Objective...)
+	for step := 0; step < 60; step++ {
+		for i := range q.Constraints {
+			c := q.Constraints[i]
+			c.RHS = p.Constraints[i].RHS * (1 + 0.05*math.Sin(float64(step+i)))
+			q.Constraints[i] = c
+		}
+		for j := range q.Objective {
+			q.Objective[j] = p.Objective[j] * (1 + 0.03*math.Cos(float64(step+j)))
+		}
+		if !in.Refresh(q) {
+			t.Fatalf("step %d: refresh rejected same-structure change", step)
+		}
+		st, err := in.SolveCurrent()
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		ref, errRef := SolveReference(q)
+		if errRef != nil {
+			t.Fatalf("step %d: reference: %v", step, errRef)
+		}
+		if st != ref.Status {
+			t.Fatalf("step %d: status %v, reference %v", step, st, ref.Status)
+		}
+		if st == Optimal {
+			if got := in.ObjectiveValue(); math.Abs(got-ref.Objective) > 1e-6*(1+math.Abs(ref.Objective)) {
+				t.Fatalf("step %d: objective %.9g, reference %.9g", step, got, ref.Objective)
+			}
+		}
+	}
+	if in.EtaChainLen() > etaChainCap {
+		t.Errorf("eta chain %d exceeds cap %d", in.EtaChainLen(), etaChainCap)
+	}
+}

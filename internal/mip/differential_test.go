@@ -75,14 +75,17 @@ func TestDifferentialMIP(t *testing.T) {
 		p := randomMIP(rng)
 		ref, errRef := Solve(p, Options{Reference: true})
 		got, errGot := Solve(p, Options{})
-		if (errRef != nil) != (errGot != nil) {
-			t.Fatalf("seed %d: error mismatch: reference %v, revised %v", s, errRef, errGot)
+		den, errDen := Solve(p, Options{DenseBasis: true})
+		par, errPar := Solve(p, Options{Workers: 2})
+		if (errRef != nil) != (errGot != nil) || (errRef != nil) != (errDen != nil) || (errRef != nil) != (errPar != nil) {
+			t.Fatalf("seed %d: error mismatch: reference %v, sparse %v, dense %v, parallel %v", s, errRef, errGot, errDen, errPar)
 		}
 		if errRef != nil {
 			continue
 		}
-		if ref.Status != got.Status {
-			t.Fatalf("seed %d: status mismatch: reference %v, revised %v\nproblem: %+v", s, ref.Status, got.Status, p)
+		if ref.Status != got.Status || ref.Status != den.Status || ref.Status != par.Status {
+			t.Fatalf("seed %d: status mismatch: reference %v, sparse %v, dense %v, parallel %v\nproblem: %+v",
+				s, ref.Status, got.Status, den.Status, par.Status, p)
 		}
 		if ref.Status != lp.Optimal || !ref.Proven || !got.Proven {
 			continue
@@ -90,6 +93,12 @@ func TestDifferentialMIP(t *testing.T) {
 		if math.Abs(ref.Objective-got.Objective) > 1e-6*(1+math.Abs(ref.Objective)) {
 			t.Fatalf("seed %d: objective mismatch: reference %.9g (%d nodes), revised %.9g (%d nodes)\nref x=%v\ngot x=%v\nproblem: %+v",
 				s, ref.Objective, ref.Nodes, got.Objective, got.Nodes, ref.X, got.X, p)
+		}
+		if den.Proven && math.Abs(ref.Objective-den.Objective) > 1e-6*(1+math.Abs(ref.Objective)) {
+			t.Fatalf("seed %d: objective mismatch: reference %.9g, dense %.9g\nproblem: %+v", s, ref.Objective, den.Objective, p)
+		}
+		if par.Proven && math.Abs(ref.Objective-par.Objective) > 1e-6*(1+math.Abs(ref.Objective)) {
+			t.Fatalf("seed %d: objective mismatch: reference %.9g, parallel %.9g\nproblem: %+v", s, ref.Objective, par.Objective, p)
 		}
 		// The revised incumbent must be integer feasible and within bounds.
 		for j, isInt := range p.Integer {

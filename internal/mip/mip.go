@@ -48,6 +48,16 @@ type Options struct {
 	// and bound over the dense Bland tableau in lp.SolveReference). It
 	// exists as the oracle side of differential tests.
 	Reference bool
+	// Workers >= 1 evaluates open nodes concurrently on internal/par with
+	// that many workers. Results are selected deterministically (nodes are
+	// processed in strict (bound, id) order regardless of which worker
+	// finishes first), so the solution is bit-identical for any worker
+	// count >= 1. Workers = 0 keeps the legacy serial loop.
+	Workers int
+	// DenseBasis compiles node LPs with the legacy dense product-form basis
+	// inverse instead of the sparse LU. It exists for differential tests and
+	// the fleet-scale baseline benchmarks.
+	DenseBasis bool
 }
 
 // WarmState carries solver state across Solve calls. The zero value is
@@ -70,6 +80,11 @@ type Solution struct {
 	Proven bool
 	// Pivots is the total simplex pivots across all node solves.
 	Pivots int64
+	// Refactors is the total basis refactorizations across all node solves.
+	Refactors int64
+	// EtaChainLen is the factorization's eta-chain length after the final
+	// node solve (0 on the dense or reference paths).
+	EtaChainLen int
 	// WarmHit is true when a WarmState basis was reused for the root solve.
 	WarmHit bool
 }
@@ -85,16 +100,26 @@ type bchange struct {
 
 // node is a branch-and-bound subproblem: bound tightenings layered on the
 // root problem. changes is an append-only prefix list shared with siblings.
+// id is the deterministic creation number (root 0, children numbered in
+// branch order), which breaks bound ties in the queue.
 type node struct {
 	bound   float64 // LP relaxation value (minimization sense)
+	id      int64
 	changes []bchange
 }
 
-// nodeQueue is a best-first priority queue on the LP bound.
+// nodeQueue is a best-first priority queue on the LP bound, with equal
+// bounds ordered by node id so the pop order — and therefore the whole
+// search, serial or parallel — is independent of heap internals.
 type nodeQueue []*node
 
-func (q nodeQueue) Len() int            { return len(q) }
-func (q nodeQueue) Less(i, j int) bool  { return q[i].bound < q[j].bound }
+func (q nodeQueue) Len() int { return len(q) }
+func (q nodeQueue) Less(i, j int) bool {
+	if q[i].bound != q[j].bound {
+		return q[i].bound < q[j].bound
+	}
+	return q[i].id < q[j].id
+}
 func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
 func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(*node)) }
 func (q *nodeQueue) Pop() interface{} {
@@ -126,12 +151,18 @@ func Solve(p Problem, opt Options) (Solution, error) {
 	// are handled in minimization sense via minSense.
 	var inst *lp.Instance
 	warmHit := false
-	if opt.Warm != nil && opt.Warm.inst != nil && opt.Warm.inst.Refresh(p.Problem) {
+	if opt.Warm != nil && opt.Warm.inst != nil &&
+		opt.Warm.inst.DenseBasis() == opt.DenseBasis &&
+		opt.Warm.inst.Refresh(p.Problem) {
 		inst = opt.Warm.inst
 		warmHit = true
 	} else {
 		var err error
-		inst, err = lp.NewInstance(p.Problem)
+		if opt.DenseBasis {
+			inst, err = lp.NewInstanceDense(p.Problem)
+		} else {
+			inst, err = lp.NewInstance(p.Problem)
+		}
 		if err != nil {
 			return Solution{}, err
 		}
@@ -146,9 +177,14 @@ func Solve(p Problem, opt Options) (Solution, error) {
 		return v
 	}
 	startPivots := inst.Pivots()
+	startRefactors := inst.Refactors()
 
 	integer := make([]bool, p.NumVars)
 	copy(integer, p.Integer)
+
+	if opt.Workers >= 1 {
+		return solveParallel(p, opt, inst, warmHit, maxNodes, integer, minSense)
+	}
 
 	res := Solution{Status: lp.Infeasible, Objective: math.Inf(1), WarmHit: warmHit}
 	incumbent := math.Inf(1)
@@ -156,6 +192,7 @@ func Solve(p Problem, opt Options) (Solution, error) {
 
 	q := &nodeQueue{}
 	heap.Push(q, &node{bound: math.Inf(-1)})
+	nextID := int64(1)
 	sawUnbounded := false
 	var xScratch []float64
 
@@ -244,8 +281,9 @@ func Solve(p Problem, opt Options) (Solution, error) {
 			bchange{v: int32(branchVar), upper: true, val: math.Floor(v)})
 		right := append(nd.changes[:len(nd.changes):len(nd.changes)],
 			bchange{v: int32(branchVar), upper: false, val: math.Ceil(v)})
-		heap.Push(q, &node{bound: obj, changes: left})
-		heap.Push(q, &node{bound: obj, changes: right})
+		heap.Push(q, &node{bound: obj, id: nextID, changes: left})
+		heap.Push(q, &node{bound: obj, id: nextID + 1, changes: right})
+		nextID += 2
 	}
 	if q.Len() == 0 {
 		res.Proven = true
@@ -258,6 +296,8 @@ func Solve(p Problem, opt Options) (Solution, error) {
 		res.Proven = false
 	}
 	res.Pivots = inst.Pivots() - startPivots
+	res.Refactors = inst.Refactors() - startRefactors
+	res.EtaChainLen = inst.EtaChainLen()
 	// Leave the instance at the root relaxation bounds so a warm successor
 	// refreshes against the unbranched problem.
 	inst.ResetBounds()
@@ -292,6 +332,7 @@ func solveReference(p Problem, opt Options) (Solution, error) {
 
 	q := &refQueue{}
 	heap.Push(q, &refNode{bound: math.Inf(-1)})
+	nextID := int64(1)
 	sawUnbounded := false
 
 	for q.Len() > 0 && res.Nodes < maxNodes {
@@ -356,8 +397,9 @@ func solveReference(p Problem, opt Options) (Solution, error) {
 			lp.Constraint{Coeffs: down, Sense: lp.LE, RHS: math.Floor(v)})
 		right := append(append([]lp.Constraint(nil), nd.extras...),
 			lp.Constraint{Coeffs: down, Sense: lp.GE, RHS: math.Ceil(v)})
-		heap.Push(q, &refNode{bound: sol.Objective, extras: left})
-		heap.Push(q, &refNode{bound: sol.Objective, extras: right})
+		heap.Push(q, &refNode{bound: sol.Objective, id: nextID, extras: left})
+		heap.Push(q, &refNode{bound: sol.Objective, id: nextID + 1, extras: right})
+		nextID += 2
 	}
 	if q.Len() == 0 {
 		res.Proven = true
@@ -372,14 +414,21 @@ func solveReference(p Problem, opt Options) (Solution, error) {
 // refNode is the legacy subproblem representation: extra constraint rows.
 type refNode struct {
 	bound  float64
+	id     int64
 	extras []lp.Constraint
 }
 
-// refQueue is the best-first priority queue for the legacy path.
+// refQueue is the best-first priority queue for the legacy path, tie-broken
+// by node id like nodeQueue.
 type refQueue []*refNode
 
-func (q refQueue) Len() int            { return len(q) }
-func (q refQueue) Less(i, j int) bool  { return q[i].bound < q[j].bound }
+func (q refQueue) Len() int { return len(q) }
+func (q refQueue) Less(i, j int) bool {
+	if q[i].bound != q[j].bound {
+		return q[i].bound < q[j].bound
+	}
+	return q[i].id < q[j].id
+}
 func (q refQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
 func (q *refQueue) Push(x interface{}) { *q = append(*q, x.(*refNode)) }
 func (q *refQueue) Pop() interface{} {

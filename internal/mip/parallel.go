@@ -1,0 +1,188 @@
+package mip
+
+import (
+	"container/heap"
+	"context"
+	"math"
+
+	"github.com/vbcloud/vb/internal/lp"
+	"github.com/vbcloud/vb/internal/par"
+)
+
+// Parallel branch and bound.
+//
+// Determinism argument: with Workers >= 1 every non-root node is evaluated
+// as a PURE function of its change list — the worker instance is reset to
+// the root-optimal template state before applying the node's bounds, so the
+// LP result (status, objective, solution vector, pivot count) cannot depend
+// on which worker ran it or what that worker solved before. The main loop
+// then processes nodes in strict best-first (bound, node-id) order,
+// consulting a result cache keyed by node id; workers only ever fill the
+// cache speculatively. Incumbent updates, pruning, branching, and node ids
+// all happen in that sequential processing order, so the entire search tree
+// — and the returned solution, bit for bit — is identical for any worker
+// count >= 1. (Workers = 0 keeps the serial warm-path loop, which chains
+// each node solve off the previous node's basis and therefore follows a
+// different, also deterministic, pivot path.)
+
+// nodeResult is the outcome of one node relaxation solve.
+type nodeResult struct {
+	err       error
+	st        lp.Status
+	obj       float64 // minimization sense
+	x         []float64
+	pivots    int64
+	refactors int64
+}
+
+func solveParallel(p Problem, opt Options, inst *lp.Instance, warmHit bool, maxNodes int, integer []bool, minSense func(float64) float64) (Solution, error) {
+	res := Solution{Status: lp.Infeasible, Objective: math.Inf(1), WarmHit: warmHit}
+	incumbent := math.Inf(1)
+	var bestX []float64
+
+	evalOn := func(w *lp.Instance, changes []bchange) *nodeResult {
+		w.ResetBounds()
+		for _, c := range changes {
+			lo, hi := w.Bounds(int(c.v))
+			if c.upper {
+				if c.val < hi {
+					hi = c.val
+				}
+			} else {
+				if c.val > lo {
+					lo = c.val
+				}
+			}
+			w.SetBound(int(c.v), lo, hi)
+		}
+		p0, r0 := w.Pivots(), w.Refactors()
+		st, err := w.SolveCurrent()
+		nr := &nodeResult{st: st, err: err, pivots: w.Pivots() - p0, refactors: w.Refactors() - r0}
+		if err == nil && st != lp.Infeasible && st != lp.Unbounded {
+			nr.obj = minSense(w.ObjectiveValue())
+			nr.x = w.Values(nil)
+		}
+		return nr
+	}
+
+	// The root solves on the carried instance itself, preserving the warm
+	// start; every other node starts from a clone of the root-optimal state.
+	results := map[int64]*nodeResult{0: evalOn(inst, nil)}
+	template := inst.Clone()
+	workerInst := make([]*lp.Instance, opt.Workers)
+
+	q := &nodeQueue{}
+	heap.Push(q, &node{bound: math.Inf(-1), id: 0})
+	nextID := int64(1)
+	sawUnbounded := false
+
+	for q.Len() > 0 && res.Nodes < maxNodes {
+		nd := heap.Pop(q).(*node)
+		if nd.bound >= incumbent-intTol {
+			res.Proven = true
+			break
+		}
+		if opt.Gap > 0 && !math.IsInf(incumbent, 1) && relGap(incumbent, nd.bound) <= opt.Gap {
+			res.Proven = true
+			break
+		}
+		res.Nodes++
+
+		r, ok := results[nd.id]
+		if !ok {
+			// Evaluate nd plus up to Workers-1 speculative best-first nodes
+			// concurrently. Speculation is invisible to the search: results
+			// land in the cache and errors surface only if the node is
+			// actually processed.
+			batch := []*node{nd}
+			popped := (*q)[:0:0]
+			for len(batch) < opt.Workers && q.Len() > 0 {
+				s := heap.Pop(q).(*node)
+				popped = append(popped, s)
+				if _, done := results[s.id]; !done && s.bound < incumbent-intTol {
+					batch = append(batch, s)
+				}
+			}
+			for _, s := range popped {
+				heap.Push(q, s)
+			}
+			got := make([]*nodeResult, len(batch))
+			_ = par.ForEach(context.Background(), len(batch), opt.Workers, func(i int) error {
+				if workerInst[i] == nil {
+					workerInst[i] = template.Clone()
+				}
+				w := workerInst[i]
+				w.CopyStateFrom(template)
+				got[i] = evalOn(w, batch[i].changes)
+				return nil
+			})
+			for i, s := range batch {
+				results[s.id] = got[i]
+			}
+			r = results[nd.id]
+		}
+		delete(results, nd.id)
+		if r.err != nil {
+			return Solution{}, r.err
+		}
+		res.Pivots += r.pivots
+		res.Refactors += r.refactors
+		switch r.st {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			sawUnbounded = true
+			continue
+		}
+		if r.obj >= incumbent-intTol {
+			continue
+		}
+		branchVar := -1
+		worst := intTol
+		for i := 0; i < p.NumVars; i++ {
+			if !integer[i] {
+				continue
+			}
+			frac := math.Abs(r.x[i] - math.Round(r.x[i]))
+			if frac > worst {
+				worst = frac
+				branchVar = i
+			}
+		}
+		if branchVar < 0 {
+			incumbent = r.obj
+			res.Status = lp.Optimal
+			bestX = append(bestX[:0], r.x...)
+			res.Objective = r.obj
+			if opt.Gap > 0 && q.Len() > 0 {
+				best := (*q)[0].bound
+				if relGap(incumbent, best) <= opt.Gap {
+					res.Proven = true
+					break
+				}
+			}
+			continue
+		}
+		v := r.x[branchVar]
+		left := append(nd.changes[:len(nd.changes):len(nd.changes)],
+			bchange{v: int32(branchVar), upper: true, val: math.Floor(v)})
+		right := append(nd.changes[:len(nd.changes):len(nd.changes)],
+			bchange{v: int32(branchVar), upper: false, val: math.Ceil(v)})
+		heap.Push(q, &node{bound: r.obj, id: nextID, changes: left})
+		heap.Push(q, &node{bound: r.obj, id: nextID + 1, changes: right})
+		nextID += 2
+	}
+	if q.Len() == 0 {
+		res.Proven = true
+	}
+	if res.Status == lp.Optimal {
+		res.X = roundIntegers(bestX, integer)
+	}
+	if res.Status != lp.Optimal && sawUnbounded {
+		res.Status = lp.Unbounded
+		res.Proven = false
+	}
+	res.EtaChainLen = inst.EtaChainLen()
+	inst.ResetBounds()
+	return finish(res, p), nil
+}

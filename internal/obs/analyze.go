@@ -42,6 +42,12 @@ type TraceAnalysis struct {
 	// marks the warm-start outcome.
 	WarmSolves int64 `json:"warm_solves"`
 	ColdSolves int64 `json:"cold_solves"`
+	// Pivots and Refactors total the solver kernel counters over all
+	// MIPSolveFinish events; MaxEtaLen is the longest sparse-LU eta chain
+	// any solve finished with.
+	Pivots    int64 `json:"pivots,omitempty"`
+	Refactors int64 `json:"refactors,omitempty"`
+	MaxEtaLen int   `json:"max_eta_len,omitempty"`
 }
 
 // Analyze aggregates an event stream in order. Events must be in emission
@@ -82,6 +88,11 @@ func Analyze(events []Event) *TraceAnalysis {
 			}
 		case MIPSolveFinish:
 			a.SolveNS = append(a.SolveNS, e.DurNS)
+			a.Pivots += e.Pivots
+			a.Refactors += e.Refactors
+			if e.EtaLen > a.MaxEtaLen {
+				a.MaxEtaLen = e.EtaLen
+			}
 			switch e.Detail {
 			case "warm":
 				a.WarmSolves++
@@ -178,6 +189,10 @@ func (a *TraceAnalysis) WriteText(w io.Writer) error {
 		if a.WarmSolves+a.ColdSolves > 0 {
 			fmt.Fprintf(w, "warm-start: %d warm / %d cold (%.1f%% hit rate)\n",
 				a.WarmSolves, a.ColdSolves, 100*a.WarmHitRate())
+		}
+		if a.Pivots > 0 || a.Refactors > 0 {
+			fmt.Fprintf(w, "basis: %d pivots  %d refactorizations  max eta chain %d\n",
+				a.Pivots, a.Refactors, a.MaxEtaLen)
 		}
 	}
 	return nil

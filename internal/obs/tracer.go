@@ -66,6 +66,12 @@ type Event struct {
 	DurNS int64 `json:"dur_ns,omitempty"`
 	// Objective is the solver's objective value (solve finish).
 	Objective float64 `json:"objective,omitempty"`
+	// Pivots, Refactors and EtaLen carry solver kernel counters (solve
+	// finish): simplex pivots, basis refactorizations, and the final
+	// eta-chain length of the sparse LU update file.
+	Pivots    int64 `json:"pivots,omitempty"`
+	Refactors int64 `json:"refactors,omitempty"`
+	EtaLen    int   `json:"eta_len,omitempty"`
 	// Detail carries free-form context ("replan", "24h0m0s->168h0m0s").
 	Detail string `json:"detail,omitempty"`
 }

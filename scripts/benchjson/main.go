@@ -159,6 +159,70 @@ func compare(f, base File, metrics, require []string, maxRegress float64) []stri
 	return failures
 }
 
+// ceiling is one absolute -ceiling gate: benchmark name (sans -N suffix),
+// metric, and the maximum allowed value.
+type ceiling struct {
+	name, metric string
+	max          float64
+}
+
+// parseCeilings splits "name:metric:max[,name:metric:max...]". Both name
+// and metric may themselves contain '/' (sub-benchmarks, "B/op"), so each
+// entry is split from the right: the last ':' delimits the max, the one
+// before it the metric.
+func parseCeilings(s string) ([]ceiling, error) {
+	var out []ceiling
+	for _, part := range splitList(s) {
+		i := strings.LastIndexByte(part, ':')
+		if i <= 0 {
+			return nil, fmt.Errorf("ceiling %q: want name:metric:max", part)
+		}
+		max, err := strconv.ParseFloat(part[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("ceiling %q: bad max: %v", part, err)
+		}
+		rest := part[:i]
+		j := strings.LastIndexByte(rest, ':')
+		if j <= 0 || j == len(rest)-1 {
+			return nil, fmt.Errorf("ceiling %q: want name:metric:max", part)
+		}
+		out = append(out, ceiling{name: rest[:j], metric: rest[j+1:], max: max})
+	}
+	return out, nil
+}
+
+// checkCeilings enforces absolute caps: each named benchmark must be
+// present and its metric at or below the cap. Unlike compare, a ceiling
+// needs no baseline entry — it pins an architectural invariant (e.g. "the
+// fleet bench must not allocate an m×m dense inverse").
+func checkCeilings(f File, ceilings []ceiling) []string {
+	current := map[string]Benchmark{}
+	for _, b := range f.Benchmarks {
+		current[baseName(b.Name)] = b
+	}
+	var failures []string
+	for _, c := range ceilings {
+		cur, ok := current[c.name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("ceiling %s: benchmark missing from input", c.name))
+			continue
+		}
+		v, ok := cur.Metrics[c.metric]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("ceiling %s: metric %s not reported", c.name, c.metric))
+			continue
+		}
+		if v > c.max {
+			failures = append(failures, fmt.Sprintf(
+				"%s %s above ceiling: %.6g > %.6g", c.name, c.metric, v, c.max))
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: %s %s ok: %.6g <= ceiling %.6g\n",
+				c.name, c.metric, v, c.max)
+		}
+	}
+	return failures
+}
+
 func splitList(s string) []string {
 	if s == "" {
 		return nil
@@ -178,7 +242,14 @@ func main() {
 	metricsArg := flag.String("metrics", "allocs/op", "comma-separated metrics to gate in compare mode")
 	maxRegress := flag.Float64("max-regress", 0.25, "max allowed fractional regression per gated metric")
 	requireArg := flag.String("require", "", "comma-separated benchmark names (sans -N suffix) that must be present")
+	ceilingArg := flag.String("ceiling", "", "comma-separated absolute caps, each name:metric:max (split from the right, so names and metrics may contain ':'-free slashes like B/op)")
 	flag.Parse()
+
+	ceilings, err := parseCeilings(*ceilingArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
 
 	f, err := parse(os.Stdin)
 	if err != nil {
@@ -190,18 +261,22 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *comparePath != "" {
-		blob, err := os.ReadFile(*comparePath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
+	if *comparePath != "" || len(ceilings) > 0 {
+		var failures []string
+		if *comparePath != "" {
+			blob, err := os.ReadFile(*comparePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			var base File
+			if err := json.Unmarshal(blob, &base); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", *comparePath, err)
+				os.Exit(1)
+			}
+			failures = compare(f, base, splitList(*metricsArg), splitList(*requireArg), *maxRegress)
 		}
-		var base File
-		if err := json.Unmarshal(blob, &base); err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", *comparePath, err)
-			os.Exit(1)
-		}
-		failures := compare(f, base, splitList(*metricsArg), splitList(*requireArg), *maxRegress)
+		failures = append(failures, checkCeilings(f, ceilings)...)
 		for _, msg := range failures {
 			fmt.Fprintln(os.Stderr, "benchjson: FAIL:", msg)
 		}

@@ -35,6 +35,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	vb "github.com/vbcloud/vb"
@@ -63,6 +64,9 @@ func main() {
 		snapAfter  = flag.Int("snapshot-after", 0, "in replay mode: stop after this many steps and write -snapshot")
 		genlog     = flag.Bool("genlog", false, "emit the synthetic workload as a request log and exit")
 		out        = flag.String("out", "", "output path for -genlog (default stdout)")
+		faults     = flag.String("faults", "", "fault script: compact spec (kind:site@start-end[=sev],...) or @file.json")
+		maxPending = flag.Int("max-pending", 4096, "arrival queue bound before 429 backpressure (0 = unbounded)")
+		drain      = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain deadline on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -72,6 +76,9 @@ func main() {
 	}
 	scn, err := buildScenario(*seed, *days, *appsPerDay, policy)
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := scn.applyFaults(*faults); err != nil {
 		log.Fatal(err)
 	}
 
@@ -94,7 +101,7 @@ func main() {
 			log.Fatal(err)
 		}
 	default:
-		if err := serve(scn, *listen, *decisions, *snapshot, *restore); err != nil {
+		if err := serve(scn, *listen, *decisions, *snapshot, *restore, *maxPending, *drain); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -207,6 +214,34 @@ func buildScenario(seed uint64, days int, appsPerDay float64, policy vb.Policy) 
 		reg:        reg,
 		arrivals:   arrivals,
 	}, nil
+}
+
+// applyFaults compiles a -faults argument (a compact spec, or @path to a
+// JSON script file) against the scenario's dimensions and threads the
+// injector into the engines. Faults become part of the deterministic run
+// identity: the same seed + the same script reproduce the same decisions,
+// and snapshots record the script's hash so a restore under a different
+// script is rejected.
+func (s *scenario) applyFaults(spec string) error {
+	if spec == "" {
+		return nil
+	}
+	var script *vb.FaultScript
+	var err error
+	if strings.HasPrefix(spec, "@") {
+		script, err = vb.LoadFaultScript(spec[1:])
+	} else {
+		script, err = vb.ParseFaultSpec(spec)
+	}
+	if err != nil {
+		return err
+	}
+	inj, err := vb.NewFaultInjector(script, len(s.in.Actual), s.in.Actual[0].Len())
+	if err != nil {
+		return err
+	}
+	s.in.Faults = inj
+	return nil
 }
 
 // newEngine builds a fresh engine for the scenario, or restores one from a

@@ -8,17 +8,29 @@
 //	GET  /v1/state     engine status
 //	GET  /v1/snapshot  engine state (binary, restorable with -restore)
 //	POST /v1/snapshot  write engine state to the -snapshot path
+//	GET  /healthz      liveness (always 200 while the process serves)
+//	GET  /readyz       readiness (503 while the engine is still restoring)
 //	GET  /metrics, /snapshot, /events, /debug/pprof/...   obs-v2 telemetry
+//
+// Daemon hardening: every handler runs under panic recovery (a panic
+// returns 500 and increments serve.panics instead of killing the process),
+// the arrival queue is bounded (429 + serve.backpressure when full), header
+// reads are deadlined, and SIGINT/SIGTERM trigger a graceful shutdown with
+// a configurable drain deadline.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
+	"time"
 
 	vb "github.com/vbcloud/vb"
 	"github.com/vbcloud/vb/internal/obs/expo"
@@ -29,20 +41,19 @@ import (
 type daemon struct {
 	scn      *scenario
 	snapPath string
+	// maxPending bounds the arrival queue; 0 = unbounded. Beyond it,
+	// POST /v1/arrive returns 429 and counts serve.backpressure.
+	maxPending int
 
 	mu        sync.Mutex
-	eng       *vb.VMEngine
+	eng       *vb.VMEngine // nil while a snapshot restore is in progress
 	pending   []vb.AppArrival
 	decisions [][]byte
 	decFile   *os.File
 }
 
-func serve(scn *scenario, listen, decPath, snapPath, restorePath string) error {
-	eng, err := scn.newEngine(restorePath)
-	if err != nil {
-		return err
-	}
-	d := &daemon{scn: scn, snapPath: snapPath, eng: eng}
+func serve(scn *scenario, listen, decPath, snapPath, restorePath string, maxPending int, shutdownTimeout time.Duration) error {
+	d := &daemon{scn: scn, snapPath: snapPath, maxPending: maxPending}
 	if decPath != "" {
 		f, err := os.OpenFile(decPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -51,9 +62,57 @@ func serve(scn *scenario, listen, decPath, snapPath, restorePath string) error {
 		defer f.Close()
 		d.decFile = f
 	}
-	log.Printf("listening on %s (policy %v, %d sites, %d steps, starting at step %d)",
-		listen, scn.cfg.Policy, len(scn.in.Actual), eng.Steps(), eng.Step())
-	return http.ListenAndServe(listen, d.handler())
+
+	srv := &http.Server{
+		Addr:              listen,
+		Handler:           d.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// Build (or restore) the engine in the background so the daemon can
+	// answer /healthz immediately; /readyz stays 503 until the engine is
+	// in place. A restore failure is fatal — a daemon that silently starts
+	// fresh would replay different decisions.
+	initErr := make(chan error, 1)
+	go func() {
+		eng, err := scn.newEngine(restorePath)
+		if err != nil {
+			initErr <- err
+			srv.Close()
+			return
+		}
+		d.mu.Lock()
+		d.eng = eng
+		d.mu.Unlock()
+		log.Printf("engine ready (policy %v, %d sites, %d steps, starting at step %d)",
+			scn.cfg.Policy, len(scn.in.Actual), eng.Steps(), eng.Step())
+		initErr <- nil
+	}()
+
+	log.Printf("listening on %s", listen)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+
+	select {
+	case err := <-serveErr:
+		if ierr := <-initErr; ierr != nil {
+			return fmt.Errorf("engine init: %w", ierr)
+		}
+		if err == http.ErrServerClosed {
+			return nil
+		}
+		return err
+	case sig := <-stop:
+		log.Printf("received %v, draining (deadline %v)", sig, shutdownTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
 }
 
 func (d *daemon) handler() http.Handler {
@@ -63,12 +122,43 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("/v1/decisions", d.handleDecisions)
 	mux.HandleFunc("/v1/state", d.handleState)
 	mux.HandleFunc("/v1/snapshot", d.handleSnapshot)
+	mux.HandleFunc("/healthz", d.handleHealthz)
+	mux.HandleFunc("/readyz", d.handleReadyz)
 	// The obs-v2 telemetry surface, served from the run's registry.
 	tele := expo.NewServer(d.scn.reg).Handler()
 	for _, p := range []string{"/metrics", "/snapshot", "/events", "/debug/pprof/"} {
 		mux.Handle(p, tele)
 	}
-	return mux
+	return d.withRecovery(mux)
+}
+
+// withRecovery converts a handler panic into a 500 response plus a
+// serve.panics count: one bad request must not take down the scheduling
+// loop for every other client.
+func (d *daemon) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				d.scn.reg.Inc("serve.panics")
+				log.Printf("panic serving %s %s: %v", r.Method, r.URL.Path, p)
+				httpError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// lockEngine acquires the daemon mutex and returns the engine, or answers
+// 503 and returns nil while the engine is still being built/restored.
+// The caller must unlock d.mu iff the return is non-nil.
+func (d *daemon) lockEngine(w http.ResponseWriter) *vb.VMEngine {
+	d.mu.Lock()
+	if d.eng == nil {
+		d.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "engine restoring; not ready")
+		return nil
+	}
+	return d.eng
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -79,6 +169,21 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 
 func httpError(w http.ResponseWriter, status int, format string, args ...interface{}) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (d *daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (d *daemon) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	ready := d.eng != nil
+	d.mu.Unlock()
+	if !ready {
+		httpError(w, http.StatusServiceUnavailable, "engine restoring")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (d *daemon) handleArrive(w http.ResponseWriter, r *http.Request) {
@@ -96,6 +201,13 @@ func (d *daemon) handleArrive(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	d.mu.Lock()
+	if d.maxPending > 0 && len(d.pending) >= d.maxPending {
+		d.mu.Unlock()
+		d.scn.reg.Inc("serve.backpressure")
+		httpError(w, http.StatusTooManyRequests,
+			"arrival queue full (%d pending); step the engine or retry later", d.maxPending)
+		return
+	}
 	d.pending = append(d.pending, arr)
 	n := len(d.pending)
 	d.mu.Unlock()
@@ -107,13 +219,16 @@ func (d *daemon) handleStep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.eng.Done() {
-		httpError(w, http.StatusConflict, "timeline exhausted (%d steps)", d.eng.Steps())
+	eng := d.lockEngine(w)
+	if eng == nil {
 		return
 	}
-	rep, err := d.eng.Advance(d.pending)
+	defer d.mu.Unlock()
+	if eng.Done() {
+		httpError(w, http.StatusConflict, "timeline exhausted (%d steps)", eng.Steps())
+		return
+	}
+	rep, err := eng.Advance(d.pending)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "advance: %v", err)
 		return
@@ -148,35 +263,41 @@ func (d *daemon) handleDecisions(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (d *daemon) handleState(w http.ResponseWriter, _ *http.Request) {
-	d.mu.Lock()
+	eng := d.lockEngine(w)
+	if eng == nil {
+		return
+	}
 	defer d.mu.Unlock()
-	res := d.eng.Result()
+	res := eng.Result()
 	state := map[string]interface{}{
 		"policy":      d.scn.cfg.Policy.String(),
-		"step":        d.eng.Step(),
-		"steps":       d.eng.Steps(),
-		"done":        d.eng.Done(),
-		"running_vms": d.eng.Running(),
-		"tracked_vms": d.eng.TrackedVMs(),
+		"step":        eng.Step(),
+		"steps":       eng.Steps(),
+		"done":        eng.Done(),
+		"running_vms": eng.Running(),
+		"tracked_vms": eng.TrackedVMs(),
 		"queued":      len(d.pending),
 		"moves":       res.Moves,
 		"transfer_gb": res.Transfer.Total(),
 	}
-	if !d.eng.Done() {
-		state["now"] = d.eng.Now()
+	if !eng.Done() {
+		state["now"] = eng.Now()
 	}
 	writeJSON(w, http.StatusOK, state)
 }
 
 func (d *daemon) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	d.mu.Lock()
+	eng := d.lockEngine(w)
+	if eng == nil {
+		return
+	}
 	defer d.mu.Unlock()
 	switch r.Method {
 	case http.MethodGet:
 		// Stream the engine state; restorable via -restore or
 		// vb.RestoreVMEngine.
 		w.Header().Set("Content-Type", "application/octet-stream")
-		if err := d.eng.Snapshot(w); err != nil {
+		if err := eng.Snapshot(w); err != nil {
 			httpError(w, http.StatusInternalServerError, "snapshot: %v", err)
 		}
 	case http.MethodPost:
@@ -184,13 +305,13 @@ func (d *daemon) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusPreconditionFailed, "no -snapshot path configured")
 			return
 		}
-		if err := writeSnapshot(d.eng, d.snapPath); err != nil {
+		if err := writeSnapshot(eng, d.snapPath); err != nil {
 			httpError(w, http.StatusInternalServerError, "snapshot: %v", err)
 			return
 		}
 		info, _ := os.Stat(d.snapPath)
 		writeJSON(w, http.StatusOK, map[string]interface{}{
-			"path": d.snapPath, "bytes": info.Size(), "step": d.eng.Step(),
+			"path": d.snapPath, "bytes": info.Size(), "step": eng.Step(),
 		})
 	default:
 		httpError(w, http.StatusMethodNotAllowed, "GET or POST")

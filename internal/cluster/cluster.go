@@ -322,6 +322,12 @@ func (s *Site) Admit(vm workload.VM) bool {
 // VMs. Unlike Step, evicted VMs are NOT queued for relaunch here — the
 // caller (e.g. a multi-site engine) decides where they go.
 func (s *Site) SetPowerEvict(powerFrac float64) []workload.VM {
+	// NaN compares false against both bounds below and would otherwise
+	// poison s.powered for the rest of the run; treat any non-finite power
+	// reading as a blackout, the conservative interpretation.
+	if math.IsNaN(powerFrac) || math.IsInf(powerFrac, -1) {
+		powerFrac = 0
+	}
 	if powerFrac < 0 {
 		powerFrac = 0
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -362,5 +363,34 @@ func TestAdmissionLimitExactFraction(t *testing.T) {
 	// One more core is over the limit.
 	if s.Admit(workload.VM{ID: id, Cores: 1, MemoryGB: 1}) {
 		t.Error("VM admitted beyond the 70% limit")
+	}
+}
+
+// TestSetPowerEvictNonFinite pins the fault-path hardening: a NaN or -Inf
+// power reading (e.g. a corrupt telemetry sample multiplied through a fault
+// factor) is treated as a blackout, and +Inf clamps to full power. Neither
+// may poison the powered-core count.
+func TestSetPowerEvictNonFinite(t *testing.T) {
+	s, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Admit(mkVM(1, 5, 10)) {
+		t.Fatal("setup VM rejected")
+	}
+	if ev := s.SetPowerEvict(math.NaN()); len(ev) != 1 {
+		t.Fatalf("NaN power evicted %d VMs, want 1 (blackout)", len(ev))
+	}
+	if s.PoweredCores() != 0 {
+		t.Fatalf("NaN power left %d cores powered, want 0", s.PoweredCores())
+	}
+	if ev := s.SetPowerEvict(math.Inf(-1)); len(ev) != 0 || s.PoweredCores() != 0 {
+		t.Fatalf("-Inf power: evicted=%d powered=%d, want 0/0", len(ev), s.PoweredCores())
+	}
+	if ev := s.SetPowerEvict(math.Inf(1)); len(ev) != 0 {
+		t.Fatalf("+Inf power evicted %d VMs, want 0", len(ev))
+	}
+	if s.PoweredCores() != s.cfg.TotalCores() {
+		t.Fatalf("+Inf power = %d cores, want full %d", s.PoweredCores(), s.cfg.TotalCores())
 	}
 }

@@ -83,6 +83,14 @@ type Config struct {
 	UtilTarget float64
 	// MIPNodes caps branch-and-bound nodes per placement (0 = 2000).
 	MIPNodes int
+	// SolveDeadline, when positive, bounds each placement solve's wall
+	// clock. An expired deadline never fails the placement: the scheduler
+	// degrades down its fallback ladder (truncated-MIP incumbent, rounded
+	// LP repair, greedy) and records the tier taken via Obs. Wall-clock
+	// deadlines are inherently nondeterministic; simulations needing
+	// bit-identical runs should rely on solver-pressure node derating
+	// (SetSolverPressure) instead.
+	SolveDeadline time.Duration
 	// SolverReference routes placements through the legacy solver stack
 	// (row-branching branch and bound over the dense Bland simplex) instead
 	// of the warm-started revised simplex. It exists for differential

@@ -32,6 +32,12 @@ type Scheduler struct {
 	// vecs holds the per-policy/per-app dimensional metrics; the zero value
 	// (no registry) is inert.
 	vecs schedVecs
+	// pressure is the current solver-latency inflation factor (>= 1; 0 or
+	// 1 means none). Under pressure the per-placement node budget derates
+	// to MIPNodes/pressure, modeling a slow solver deterministically: the
+	// truncation point depends only on the factor, never on wall clock or
+	// worker count.
+	pressure float64
 }
 
 // schedVecs bundles the scheduler's dimensional metrics with the policy
@@ -44,6 +50,7 @@ type schedVecs struct {
 	solve      *obs.HistogramVec
 	warmstart  *obs.CounterVec
 	placements *obs.CounterVec
+	fallback   *obs.CounterVec
 }
 
 func newSchedVecs(cfg Config) schedVecs {
@@ -56,6 +63,7 @@ func newSchedVecs(cfg Config) schedVecs {
 		solve:      cfg.Obs.NewHistogramVec("mip.solve.by_app", nil, "policy", "app"),
 		warmstart:  cfg.Obs.NewCounterVec("mip.warmstart.by_app", "policy", "app", "result"),
 		placements: cfg.Obs.NewCounterVec("scheduler.placements.by_app", "policy", "app"),
+		fallback:   cfg.Obs.NewCounterVec("scheduler.fallback.by_tier", "policy", "tier"),
 	}
 }
 
@@ -106,6 +114,32 @@ func NewScheduler(cfg Config, numSites, steps int) (*Scheduler, error) {
 
 // Committed returns the cores committed on site s at step t.
 func (s *Scheduler) Committed(site, step int) float64 { return s.committed[site][step] }
+
+// SetSolverPressure sets the solver-latency inflation factor for
+// subsequent placements (a fault-injection input). Factors below 1 (or
+// non-finite) reset to 1: no pressure. Under factor f each placement's
+// branch-and-bound budget becomes max(1, MIPNodes/f), so a saturated
+// solver degrades to the truncated-incumbent or rounded-LP tiers exactly
+// the same way at any worker count.
+func (s *Scheduler) SetSolverPressure(f float64) {
+	if math.IsNaN(f) || f < 1 {
+		f = 1
+	}
+	s.pressure = f
+}
+
+// recordFallback makes a degraded placement visible: the plain and
+// per-tier fallback counters and a SchedulerFallback trace event.
+func (s *Scheduler) recordFallback(app AppDemand, nowStep int, tier string) {
+	reg := s.cfg.Obs
+	if reg == nil {
+		return
+	}
+	reg.Inc("scheduler.fallback.count")
+	s.vecs.fallback.Inc(s.vecs.policy, tier)
+	reg.Emit(obs.Event{Type: obs.SchedulerFallback, Step: nowStep, App: app.ID, Site: -1, Dst: -1,
+		Cores: app.StableCores, Detail: tier})
+}
 
 // Commit adds a plan's allocations and planned migration traffic to the
 // ledgers from step `from` onward.
@@ -454,6 +488,21 @@ func (s *Scheduler) placeMIP(app AppDemand, nowStep, endStep int, predCap, stabl
 		integer[yVar(site)] = true
 	}
 
+	// Solver pressure (a latency fault) derates the node budget instead of
+	// racing a wall clock: the truncation point is then a pure function of
+	// the script, keeping decision logs bit-identical at any worker count.
+	maxNodes := s.cfg.mipNodes()
+	if s.pressure > 1 {
+		maxNodes = int(float64(maxNodes) / s.pressure)
+		if maxNodes < 1 {
+			maxNodes = 1
+		}
+	}
+	prob := mip.Problem{
+		Problem: lp.Problem{NumVars: numVars, Objective: obj, Constraints: cons, Upper: upper},
+		Integer: integer,
+	}
+
 	reg := s.cfg.Obs
 	var solveStart time.Time
 	if reg != nil {
@@ -461,11 +510,12 @@ func (s *Scheduler) placeMIP(app AppDemand, nowStep, endStep int, predCap, stabl
 		reg.Emit(obs.Event{Type: obs.MIPSolveStart, Step: nowStep, App: app.ID, Site: -1, Dst: -1, Cores: demand})
 	}
 	ws := s.warmState(app.ID)
-	sol, err := mip.Solve(mip.Problem{
-		Problem: lp.Problem{NumVars: numVars, Objective: obj, Constraints: cons, Upper: upper},
-		Integer: integer,
-	}, mip.Options{MaxNodes: s.cfg.mipNodes(), Warm: ws, Reference: s.cfg.SolverReference,
-		Workers: s.cfg.SolverWorkers})
+	sol, err := mip.Solve(prob, mip.Options{MaxNodes: maxNodes, Warm: ws, Reference: s.cfg.SolverReference,
+		Workers: s.cfg.SolverWorkers, Deadline: s.cfg.SolveDeadline})
+	warmth := "cold"
+	if ws != nil && sol.WarmHit {
+		warmth = "warm"
+	}
 	if reg != nil {
 		d := time.Since(solveStart)
 		reg.ObserveDuration("mip.solve", d)
@@ -476,10 +526,8 @@ func (s *Scheduler) placeMIP(app AppDemand, nowStep, endStep int, predCap, stabl
 		if s.cfg.SolverWorkers >= 1 {
 			reg.Add("mip.nodes.parallel", float64(sol.Nodes))
 		}
-		warmth := "cold"
 		if ws != nil {
 			if sol.WarmHit {
-				warmth = "warm"
 				reg.Inc("mip.warmstart.hits")
 			} else {
 				reg.Inc("mip.warmstart.misses")
@@ -495,12 +543,42 @@ func (s *Scheduler) placeMIP(app AppDemand, nowStep, endStep int, predCap, stabl
 		} else {
 			reg.Inc("mip.failures")
 		}
+		// A deadline expiry, or a pressure-derated budget truncating the
+		// search, counts as a deadline event whether or not an incumbent
+		// survived to serve the placement.
+		if sol.DeadlineExceeded || (err == nil && s.pressure > 1 && !sol.Proven) {
+			reg.Inc("solver.deadline_exceeded")
+		}
 	}
-	if err != nil {
-		return Plan{}, err
-	}
-	if sol.Status != lp.Optimal {
-		return Plan{}, fmt.Errorf("core: placement MIP %v for app %d", sol.Status, app.ID)
+	// Graceful-degradation ladder. Tier 0 is the full (or truncated-with-
+	// incumbent) branch-and-bound solution above. When that produced no
+	// usable plan — deadline with no incumbent, node budget exhausted
+	// before the first integer point, or a numerical dead end — tier 1
+	// rounds and repairs the LP relaxation, and tier 2 falls back to the
+	// greedy baseline, which cannot fail. Solver trouble therefore never
+	// surfaces as a placement error: it degrades, and the degradation is
+	// recorded (scheduler.fallback.count, SchedulerFallback events).
+	if err != nil || sol.Status != lp.Optimal {
+		rsol, rerr := mip.SolveRelaxationRounded(prob, mip.Options{Reference: s.cfg.SolverReference})
+		if rerr == nil && rsol.Status == lp.Optimal {
+			s.recordFallback(app, nowStep, "rounded-lp")
+			if reg != nil {
+				d := time.Since(solveStart)
+				reg.Emit(obs.Event{Type: obs.MIPSolveFinish, Step: nowStep, App: app.ID, Site: -1, Dst: -1,
+					Cores: demand, DurNS: d.Nanoseconds(), Objective: rsol.Objective,
+					Detail: warmth + ",fallback=rounded-lp",
+					Pivots: rsol.Pivots, Refactors: rsol.Refactors, EtaLen: rsol.EtaChainLen})
+			}
+			sol = rsol
+		} else {
+			s.recordFallback(app, nowStep, "greedy")
+			if reg != nil {
+				d := time.Since(solveStart)
+				reg.Emit(obs.Event{Type: obs.MIPSolveFinish, Step: nowStep, App: app.ID, Site: -1, Dst: -1,
+					Cores: demand, DurNS: d.Nanoseconds(), Detail: warmth + ",fallback=greedy"})
+			}
+			return s.placeGreedy(app, nowStep, endStep, predCap)
+		}
 	}
 
 	plan := newPlan(app.ID, s.numSites, s.steps)

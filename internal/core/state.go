@@ -57,8 +57,16 @@ func (s *Scheduler) EncodeState(w io.Writer) error {
 
 // DecodeState restores state written by EncodeState into a scheduler built
 // with the same shape (numSites, steps). It replaces the ledgers and warm
-// cache wholesale.
-func (s *Scheduler) DecodeState(r io.Reader) error {
+// cache wholesale. Corrupt input — truncated, bit-flipped, or otherwise
+// undecodable — returns an error and leaves the scheduler untouched; a
+// decoder panic (gob panics on some malformed type descriptors) is
+// converted to an error rather than killing the process.
+func (s *Scheduler) DecodeState(r io.Reader) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("core: decoding scheduler state: corrupt stream: %v", p)
+		}
+	}()
 	var st schedulerState
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {
 		return fmt.Errorf("core: decoding scheduler state: %w", err)

@@ -1,0 +1,205 @@
+// Package fault implements a deterministic, seedable fault-injection
+// engine for the virtual-battery simulators and the vbserve daemon.
+//
+// A fault Script is a list of timed events — site blackouts, brownouts,
+// WAN link cuts or bandwidth degradations, forecast busts, and solver
+// slowdowns — expressed in plan-step indices, never wall clock. An
+// Injector compiles a script into per-step lookups the engines query on
+// the hot path. Every query is a pure function of (script, step), so the
+// same seed plus the same script yields bit-identical decision logs at
+// any worker count.
+//
+// All Injector methods are safe on a nil receiver and return identity
+// values (factor 1, unlimited bandwidth, no inflation), so fault-free
+// runs take exactly the seed code paths.
+package fault
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Kind names a fault class.
+type Kind int
+
+// Fault kinds.
+const (
+	// SiteBlackout removes all power from a site for the window.
+	SiteBlackout Kind = iota
+	// SiteBrownout derates a site's power by Severity (fraction lost).
+	SiteBrownout
+	// WANCut removes the migration path between two sites (or all pairs
+	// when wildcarded) for the window.
+	WANCut
+	// WANDegraded caps per-step migration traffic between two sites at
+	// Severity GB per plan step.
+	WANDegraded
+	// ForecastBust multiplies predicted (not actual) capacity by Severity
+	// for target steps inside the window, modeling a systematic forecast
+	// error the scheduler plans around.
+	ForecastBust
+	// SolverSlowdown inflates solver latency by Severity (>= 1). To keep
+	// decisions deterministic it is applied as a node-budget derate:
+	// effective MaxNodes = max(1, MaxNodes/Severity).
+	SolverSlowdown
+
+	numKinds = int(SolverSlowdown) + 1
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case SiteBlackout:
+		return "site_blackout"
+	case SiteBrownout:
+		return "site_brownout"
+	case WANCut:
+		return "wan_cut"
+	case WANDegraded:
+		return "wan_degraded"
+	case ForecastBust:
+		return "forecast_bust"
+	case SolverSlowdown:
+		return "solver_slowdown"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// KindFromString parses the String form of a Kind.
+func KindFromString(s string) (Kind, error) {
+	for k := Kind(0); int(k) < numKinds; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown kind %q", s)
+}
+
+// Event is one scheduled fault. Start/End are plan-step indices forming a
+// half-open window [Start, End). Site and Peer are site indices; -1 means
+// "all sites" (capacity and forecast kinds) or "all pairs" (WAN kinds).
+type Event struct {
+	Kind Kind `json:"-"`
+	// Site is the affected site (-1 = every site). For WAN kinds, Site
+	// and Peer name the link's endpoints (-1 on either = wildcard).
+	Site int `json:"site"`
+	Peer int `json:"peer,omitempty"`
+	// Start and End bound the half-open step window [Start, End).
+	Start int `json:"start"`
+	End   int `json:"end"`
+	// Severity is kind-dependent: fraction of power lost in (0, 1] for
+	// SiteBrownout; GB per step >= 0 for WANDegraded; predicted-capacity
+	// multiplier > 0 for ForecastBust; latency inflation >= 1 for
+	// SolverSlowdown. Ignored for SiteBlackout and WANCut.
+	Severity float64 `json:"severity,omitempty"`
+}
+
+func (e Event) active(step int) bool { return step >= e.Start && step < e.End }
+
+// validate checks one event against the scenario dimensions.
+func (e Event) validate(i int, numSites, steps int) error {
+	if int(e.Kind) < 0 || int(e.Kind) >= numKinds {
+		return fmt.Errorf("fault: event %d: unknown kind %d", i, int(e.Kind))
+	}
+	if e.Start < 0 || e.End > steps || e.Start >= e.End {
+		return fmt.Errorf("fault: event %d (%s): window [%d,%d) outside [0,%d)", i, e.Kind, e.Start, e.End, steps)
+	}
+	checkSite := func(name string, s int) error {
+		if s < -1 || s >= numSites {
+			return fmt.Errorf("fault: event %d (%s): %s %d outside [-1,%d)", i, e.Kind, name, s, numSites)
+		}
+		return nil
+	}
+	if err := checkSite("site", e.Site); err != nil {
+		return err
+	}
+	if math.IsNaN(e.Severity) || math.IsInf(e.Severity, 0) {
+		return fmt.Errorf("fault: event %d (%s): non-finite severity", i, e.Kind)
+	}
+	switch e.Kind {
+	case SiteBrownout:
+		if e.Severity <= 0 || e.Severity > 1 {
+			return fmt.Errorf("fault: event %d (%s): severity %v outside (0,1]", i, e.Kind, e.Severity)
+		}
+	case WANCut, WANDegraded:
+		if err := checkSite("peer", e.Peer); err != nil {
+			return err
+		}
+		if e.Kind == WANDegraded && e.Severity < 0 {
+			return fmt.Errorf("fault: event %d (%s): negative bandwidth %v", i, e.Kind, e.Severity)
+		}
+	case ForecastBust:
+		if e.Severity <= 0 {
+			return fmt.Errorf("fault: event %d (%s): non-positive factor %v", i, e.Kind, e.Severity)
+		}
+	case SolverSlowdown:
+		if e.Severity < 1 {
+			return fmt.Errorf("fault: event %d (%s): inflation %v < 1", i, e.Kind, e.Severity)
+		}
+	}
+	return nil
+}
+
+// Script is an ordered list of fault events for one scenario.
+type Script struct {
+	Events []Event `json:"events"`
+}
+
+// Empty reports whether the script injects nothing.
+func (s *Script) Empty() bool { return s == nil || len(s.Events) == 0 }
+
+// Validate checks every event against the scenario dimensions: numSites
+// sites and steps plan steps.
+func (s *Script) Validate(numSites, steps int) error {
+	if s == nil {
+		return nil
+	}
+	if numSites <= 0 || steps <= 0 {
+		return fmt.Errorf("fault: invalid dimensions %d sites × %d steps", numSites, steps)
+	}
+	for i, e := range s.Events {
+		if err := e.validate(i, numSites, steps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Hash returns a deterministic 64-bit digest of the script's canonical
+// encoding. An empty or nil script hashes to 0, matching "no injector" in
+// snapshot fingerprints.
+func (s *Script) Hash() uint64 {
+	if s.Empty() {
+		return 0
+	}
+	// Canonical order: sort a copy so semantically equal scripts hash
+	// equal regardless of authoring order.
+	ev := append([]Event(nil), s.Events...)
+	sort.Slice(ev, func(a, b int) bool {
+		x, y := ev[a], ev[b]
+		if x.Start != y.Start {
+			return x.Start < y.Start
+		}
+		if x.Kind != y.Kind {
+			return x.Kind < y.Kind
+		}
+		if x.Site != y.Site {
+			return x.Site < y.Site
+		}
+		if x.Peer != y.Peer {
+			return x.Peer < y.Peer
+		}
+		if x.End != y.End {
+			return x.End < y.End
+		}
+		return x.Severity < y.Severity
+	})
+	h := fnv.New64a()
+	for _, e := range ev {
+		fmt.Fprintf(h, "%d|%d|%d|%d|%d|%x;", int(e.Kind), e.Site, e.Peer, e.Start, e.End, math.Float64bits(e.Severity))
+	}
+	return h.Sum64()
+}

@@ -37,6 +37,8 @@ func (in *Instance) Clone() *Instance {
 		d:          append([]float64(nil), in.d...),
 		dExact:     in.dExact,
 		cb1:        make([]int8, in.m),
+
+		interrupt: in.interrupt,
 	}
 	return c
 }

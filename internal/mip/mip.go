@@ -14,8 +14,12 @@ package mip
 
 import (
 	"container/heap"
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
+	"time"
 
 	"github.com/vbcloud/vb/internal/lp"
 )
@@ -58,6 +62,18 @@ type Options struct {
 	// inverse instead of the sparse LU. It exists for differential tests and
 	// the fleet-scale baseline benchmarks.
 	DenseBasis bool
+	// Deadline, when positive, bounds the solve's wall-clock time. When it
+	// expires the search stops at the next interrupt poll and returns the
+	// best incumbent found with DeadlineExceeded set — never an error. A
+	// wall-clock deadline is inherently nondeterministic; callers needing
+	// bit-identical truncation should derate MaxNodes instead (the
+	// scheduler's solver-slowdown fault does exactly that). Ignored on the
+	// Reference path.
+	Deadline time.Duration
+	// Ctx, when non-nil, cancels the solve: cancellation behaves like an
+	// expired Deadline (incumbent returned, DeadlineExceeded set). Ignored
+	// on the Reference path.
+	Ctx context.Context
 }
 
 // WarmState carries solver state across Solve calls. The zero value is
@@ -87,9 +103,53 @@ type Solution struct {
 	EtaChainLen int
 	// WarmHit is true when a WarmState basis was reused for the root solve.
 	WarmHit bool
+	// DeadlineExceeded is true when Options.Deadline expired or Options.Ctx
+	// was canceled before the search concluded. The solution carries the
+	// best incumbent found so far (Status Optimal when one exists, with
+	// Proven false) — deadline expiry is degradation, not failure.
+	DeadlineExceeded bool
 }
 
 const intTol = 1e-6
+
+// interrupter adapts Options.Deadline/Ctx into the lp interrupt hook.
+// Once fired it stays fired (atomically), so every worker instance sharing
+// the hook stops, and retry loops cannot resurrect an expired solve.
+type interrupter struct {
+	ctx      context.Context
+	deadline time.Time
+	fired    atomic.Bool
+}
+
+// newInterrupter returns nil when no deadline or context is configured,
+// keeping the zero-option hot path free of time syscalls.
+func newInterrupter(opt Options) *interrupter {
+	if opt.Deadline <= 0 && opt.Ctx == nil {
+		return nil
+	}
+	it := &interrupter{ctx: opt.Ctx}
+	if opt.Deadline > 0 {
+		it.deadline = time.Now().Add(opt.Deadline)
+	}
+	return it
+}
+
+// check reports (and latches) whether the solve should stop. Safe for
+// concurrent use from parallel node workers.
+func (it *interrupter) check() bool {
+	if it == nil {
+		return false
+	}
+	if it.fired.Load() {
+		return true
+	}
+	if (it.ctx != nil && it.ctx.Err() != nil) ||
+		(!it.deadline.IsZero() && !time.Now().Before(it.deadline)) {
+		it.fired.Store(true)
+		return true
+	}
+	return false
+}
 
 // bchange is one branching decision: a tightened bound on variable v.
 type bchange struct {
@@ -179,11 +239,20 @@ func Solve(p Problem, opt Options) (Solution, error) {
 	startPivots := inst.Pivots()
 	startRefactors := inst.Refactors()
 
+	// Arm the deadline/cancellation hook on the carried instance; clones
+	// (parallel workers) inherit it. Cleared before returning so a warm
+	// successor solve does not abort against a stale deadline.
+	intr := newInterrupter(opt)
+	if intr != nil {
+		inst.SetInterrupt(intr.check)
+		defer inst.SetInterrupt(nil)
+	}
+
 	integer := make([]bool, p.NumVars)
 	copy(integer, p.Integer)
 
 	if opt.Workers >= 1 {
-		return solveParallel(p, opt, inst, warmHit, maxNodes, integer, minSense)
+		return solveParallel(p, opt, inst, warmHit, maxNodes, integer, minSense, intr)
 	}
 
 	res := Solution{Status: lp.Infeasible, Objective: math.Inf(1), WarmHit: warmHit}
@@ -197,6 +266,10 @@ func Solve(p Problem, opt Options) (Solution, error) {
 	var xScratch []float64
 
 	for q.Len() > 0 && res.Nodes < maxNodes {
+		if intr.check() {
+			res.DeadlineExceeded = true
+			break
+		}
 		nd := heap.Pop(q).(*node)
 		// Bound prune: best-first means the popped bound is the global
 		// minimum outstanding, so if it is already worse than the incumbent
@@ -226,6 +299,10 @@ func Solve(p Problem, opt Options) (Solution, error) {
 			inst.SetBound(int(c.v), lo, hi)
 		}
 		st, err := inst.SolveCurrent()
+		if errors.Is(err, lp.ErrInterrupted) {
+			res.DeadlineExceeded = true
+			break
+		}
 		if err != nil {
 			return Solution{}, err
 		}
@@ -285,7 +362,7 @@ func Solve(p Problem, opt Options) (Solution, error) {
 		heap.Push(q, &node{bound: obj, id: nextID + 1, changes: right})
 		nextID += 2
 	}
-	if q.Len() == 0 {
+	if q.Len() == 0 && !res.DeadlineExceeded {
 		res.Proven = true
 	}
 	if res.Status == lp.Optimal {

@@ -3,6 +3,7 @@ package mip
 import (
 	"container/heap"
 	"context"
+	"errors"
 	"math"
 
 	"github.com/vbcloud/vb/internal/lp"
@@ -35,7 +36,7 @@ type nodeResult struct {
 	refactors int64
 }
 
-func solveParallel(p Problem, opt Options, inst *lp.Instance, warmHit bool, maxNodes int, integer []bool, minSense func(float64) float64) (Solution, error) {
+func solveParallel(p Problem, opt Options, inst *lp.Instance, warmHit bool, maxNodes int, integer []bool, minSense func(float64) float64, intr *interrupter) (Solution, error) {
 	res := Solution{Status: lp.Infeasible, Objective: math.Inf(1), WarmHit: warmHit}
 	incumbent := math.Inf(1)
 	var bestX []float64
@@ -77,6 +78,10 @@ func solveParallel(p Problem, opt Options, inst *lp.Instance, warmHit bool, maxN
 	sawUnbounded := false
 
 	for q.Len() > 0 && res.Nodes < maxNodes {
+		if intr.check() {
+			res.DeadlineExceeded = true
+			break
+		}
 		nd := heap.Pop(q).(*node)
 		if nd.bound >= incumbent-intTol {
 			res.Proven = true
@@ -122,6 +127,10 @@ func solveParallel(p Problem, opt Options, inst *lp.Instance, warmHit bool, maxN
 			r = results[nd.id]
 		}
 		delete(results, nd.id)
+		if errors.Is(r.err, lp.ErrInterrupted) {
+			res.DeadlineExceeded = true
+			break
+		}
 		if r.err != nil {
 			return Solution{}, r.err
 		}
@@ -172,7 +181,7 @@ func solveParallel(p Problem, opt Options, inst *lp.Instance, warmHit bool, maxN
 		heap.Push(q, &node{bound: r.obj, id: nextID + 1, changes: right})
 		nextID += 2
 	}
-	if q.Len() == 0 {
+	if q.Len() == 0 && !res.DeadlineExceeded {
 		res.Proven = true
 	}
 	if res.Status == lp.Optimal {

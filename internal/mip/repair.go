@@ -1,0 +1,140 @@
+package mip
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/vbcloud/vb/internal/lp"
+)
+
+// SolveRelaxationRounded is the degradation path below full branch and
+// bound: solve the LP relaxation once, round every integer variable to the
+// nearest integer (clamped into its bounds), fix it there, and re-solve
+// the continuous variables around the rounding. It performs at most two LP
+// solves, always on a fresh instance — Options.Warm is never touched, so a
+// degraded placement cannot poison the carried basis — and ignores
+// Options.Deadline (it IS the deadline fallback).
+//
+// The result is integer feasible whenever the rounding satisfies the
+// integer-coupling constraints; when it does not (Status != Optimal) the
+// caller falls through to its next tier. Proven is never set: a rounding
+// is a repair, not an optimum.
+func SolveRelaxationRounded(p Problem, opt Options) (Solution, error) {
+	if err := p.Problem.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if len(p.Integer) > p.NumVars {
+		return Solution{}, fmt.Errorf("mip: %d integrality flags for %d vars", len(p.Integer), p.NumVars)
+	}
+	integer := make([]bool, p.NumVars)
+	copy(integer, p.Integer)
+	if opt.Reference {
+		return repairReference(p, integer)
+	}
+
+	var inst *lp.Instance
+	var err error
+	if opt.DenseBasis {
+		inst, err = lp.NewInstanceDense(p.Problem)
+	} else {
+		inst, err = lp.NewInstance(p.Problem)
+	}
+	if err != nil {
+		return Solution{}, err
+	}
+	minSense := func(v float64) float64 {
+		if p.Maximize {
+			return -v
+		}
+		return v
+	}
+
+	res := Solution{Status: lp.Infeasible, Objective: math.Inf(1)}
+	st, err := inst.SolveCurrent()
+	if err != nil {
+		return Solution{}, err
+	}
+	res.Nodes = 1
+	if st != lp.Optimal {
+		res.Status = st
+		res.Pivots = inst.Pivots()
+		return finish(res, p), nil
+	}
+	x := inst.Values(nil)
+	rounded := false
+	for j := 0; j < p.NumVars; j++ {
+		if !integer[j] {
+			continue
+		}
+		r := math.Round(x[j])
+		r = math.Max(math.Ceil(p.LowerOf(j)), math.Min(r, math.Floor(p.UpperOf(j))))
+		lo, hi := inst.Bounds(j)
+		if r < lo || r > hi {
+			r = math.Max(lo, math.Min(r, hi))
+		}
+		inst.SetBound(j, r, r)
+		rounded = true
+	}
+	if rounded {
+		st, err = inst.SolveCurrent()
+		if err != nil {
+			return Solution{}, err
+		}
+		res.Nodes = 2
+	}
+	res.Status = st
+	res.Pivots = inst.Pivots()
+	res.Refactors = inst.Refactors()
+	res.EtaChainLen = inst.EtaChainLen()
+	if st == lp.Optimal {
+		res.X = roundIntegers(inst.Values(nil), integer)
+		res.Objective = minSense(inst.ObjectiveValue())
+	}
+	return finish(res, p), nil
+}
+
+// repairReference is the rounding repair over the legacy dense reference
+// simplex, used when the caller differential-tests the degraded path too.
+func repairReference(p Problem, integer []bool) (Solution, error) {
+	res := Solution{Status: lp.Infeasible, Objective: math.Inf(1)}
+	sol, err := lp.SolveReference(p.Problem)
+	if err != nil {
+		return Solution{}, err
+	}
+	res.Nodes = 1
+	res.Pivots = sol.Pivots
+	if sol.Status != lp.Optimal {
+		res.Status = sol.Status
+		if p.Maximize {
+			res.Objective = math.Inf(-1)
+		}
+		return finish(res, p), nil
+	}
+	fixed := p.Problem
+	fixed.Lower = make([]float64, p.NumVars)
+	fixed.Upper = make([]float64, p.NumVars)
+	for j := 0; j < p.NumVars; j++ {
+		fixed.Lower[j] = p.LowerOf(j)
+		fixed.Upper[j] = p.UpperOf(j)
+		if integer[j] {
+			r := math.Round(sol.X[j])
+			r = math.Max(math.Ceil(fixed.Lower[j]), math.Min(r, math.Floor(fixed.Upper[j])))
+			fixed.Lower[j], fixed.Upper[j] = r, r
+		}
+	}
+	sol2, err := lp.SolveReference(fixed)
+	if err != nil {
+		return Solution{}, err
+	}
+	res.Nodes = 2
+	res.Pivots += sol2.Pivots
+	res.Status = sol2.Status
+	if sol2.Status == lp.Optimal {
+		res.X = roundIntegers(sol2.X, integer)
+		res.Objective = sol2.Objective
+		if p.Maximize {
+			res.Objective = -res.Objective
+		}
+	}
+	return finish(res, p), nil
+}

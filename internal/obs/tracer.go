@@ -42,6 +42,12 @@ const (
 	VMPlacementFail EventType = "vm_placement_failed"
 	// SiteStep summarizes one single-site cluster step with traffic.
 	SiteStep EventType = "site_step"
+	// FaultInjected marks a fault-script event's window opening (site
+	// blackout, brownout, WAN cut, forecast bust, solver slowdown).
+	FaultInjected EventType = "fault_injected"
+	// SchedulerFallback marks a placement that degraded down the ladder:
+	// Detail names the tier taken ("rounded-lp" or "greedy").
+	SchedulerFallback EventType = "scheduler_fallback"
 )
 
 // Event is one structured simulation event. Site, Dst, App and VM are -1

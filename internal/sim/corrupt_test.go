@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/vbcloud/vb/internal/cluster"
+	"github.com/vbcloud/vb/internal/core"
+)
+
+// corruptFixture builds a small mid-run engine snapshot to damage.
+func corruptFixture(t *testing.T) (core.Config, Input, cluster.Config, []byte) {
+	t.Helper()
+	in, apps := vmLevelFixtures(t, 2)
+	cfg := simConfig(core.MIP)
+	ccfg := cluster.DefaultConfig()
+	eng, err := NewVMEngine(cfg, in, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := vmBatchArrivals(in, apps)
+	sortArrivals(arrivals)
+	next := 0
+	for i := 0; i < 3 && !eng.Done(); i++ {
+		now := eng.Now()
+		var batch []AppArrival
+		for next < len(arrivals) && !arrivals[next].Demand.Start.After(now) {
+			batch = append(batch, arrivals[next])
+			next++
+		}
+		if _, err := eng.Advance(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := eng.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return cfg, in, ccfg, snap.Bytes()
+}
+
+// TestRestoreTruncatedSnapshot sweeps truncation points across the whole
+// snapshot: every strict prefix must restore to a positioned error (the
+// byte offset where decoding died), never a panic and never silent success.
+func TestRestoreTruncatedSnapshot(t *testing.T) {
+	cfg, in, ccfg, data := corruptFixture(t)
+	if _, err := RestoreVMEngine(cfg, in, ccfg, bytes.NewReader(data)); err != nil {
+		t.Fatalf("pristine snapshot failed to restore: %v", err)
+	}
+	stride := len(data)/64 + 1
+	for n := 0; n < len(data); n += stride {
+		_, err := RestoreVMEngine(cfg, in, ccfg, bytes.NewReader(data[:n]))
+		if err == nil {
+			t.Fatalf("truncated snapshot (%d of %d bytes) restored without error", n, len(data))
+		}
+		if !strings.Contains(err.Error(), "byte") {
+			t.Fatalf("truncation at %d bytes: error %q carries no byte position", n, err)
+		}
+	}
+}
+
+// TestRestoreBitFlippedSnapshot flips one bit at strided positions across
+// the snapshot. Any outcome except a panic is acceptable: most flips must
+// error (gob framing, fingerprint, or range validation), and a flip that
+// happens to decode must still yield an engine that can step without
+// crashing.
+func TestRestoreBitFlippedSnapshot(t *testing.T) {
+	cfg, in, ccfg, data := corruptFixture(t)
+	stride := len(data)/96 + 1
+	survived := 0
+	for pos := 0; pos < len(data); pos += stride {
+		for _, mask := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), data...)
+			mut[pos] ^= mask
+			eng, err := RestoreVMEngine(cfg, in, ccfg, bytes.NewReader(mut))
+			if err != nil {
+				continue
+			}
+			survived++
+			if !eng.Done() {
+				if _, err := eng.Advance(nil); err != nil {
+					continue // a decodable-but-bogus state may error on step; fine
+				}
+			}
+		}
+	}
+	// Sanity: the sweep must actually have exercised the error paths (a
+	// snapshot where every flip decodes would mean gob framing is not being
+	// checked at all).
+	if survived > 100 {
+		t.Fatalf("%d bit flips restored successfully; corruption detection looks inert", survived)
+	}
+}

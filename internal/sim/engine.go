@@ -88,6 +88,13 @@ func (in Input) validateStreaming() error {
 			return err
 		}
 	}
+	if in.Faults != nil {
+		sites, steps := in.Faults.Dims()
+		if sites != len(in.Actual) || steps != base.Len() {
+			return fmt.Errorf("sim: fault injector compiled for %d sites × %d steps, scenario is %d × %d",
+				sites, steps, len(in.Actual), base.Len())
+		}
+	}
 	return nil
 }
 
@@ -171,7 +178,10 @@ func (e *Engine) Done() bool { return e.step >= e.T }
 func (e *Engine) Result() Result { return e.res }
 
 func (e *Engine) actCap(site, t int) float64 {
-	return e.util * e.in.Actual[site].Values[t] * e.in.TotalCores
+	// The fault factor multiplies last: a nil injector returns exactly 1
+	// and v*1.0 is bit-exact, so fault-free runs match the seed bit for
+	// bit.
+	return e.util * e.in.Actual[site].Values[t] * e.in.TotalCores * e.in.Faults.CapFactor(site, t)
 }
 
 // Advance executes one plan step: retire finished apps, replan daily,
@@ -191,6 +201,14 @@ func (e *Engine) Advance(arrivals []core.AppDemand) (StepReport, error) {
 	transferBefore := res.Transfer.Values[t]
 	plannedBefore, forcedBefore := res.PlannedGB, res.ForcedGB
 	pausedBefore, shortBefore := res.PausedStableCoreSteps, res.ShortfallCoreSteps
+
+	// Fault injection: record onsets, set this step's solver pressure, and
+	// take the step's WAN bandwidth budget (nil = unlimited). All are
+	// no-ops with no injector.
+	inj := e.in.Faults
+	inj.OnStep(t, reg)
+	e.sched.SetSolverPressure(inj.SolverInflation(t))
+	wb := inj.WANBudget(t)
 
 	// predCap is the forecast at face value; stableCap is the rolling
 	// minimum with lead-dependent pessimism — the paper's "place VMs on
@@ -298,12 +316,22 @@ func (e *Engine) Advance(arrivals []core.AppDemand) (StepReport, error) {
 					continue
 				}
 				x := math.Min(excess, want)
+				// WAN faults cap the link's per-step traffic: move only
+				// what the remaining bandwidth carries; the rest waits at
+				// the source for a later step.
+				if wb != nil {
+					x = math.Min(x, wb.Remaining(src, dst)/a.demand.MemGBPerCore)
+					if x <= 1e-9 {
+						continue
+					}
+				}
 				a.cur[src] -= x
 				a.cur[dst] += x
 				load[src] -= x
 				load[dst] += x
 				want -= x
 				gb := x * a.demand.MemGBPerCore
+				wb.Consume(src, dst, gb)
 				res.Transfer.Values[t] += gb
 				res.PerApp[a.demand.ID] += gb
 				res.PlannedGB += gb
@@ -341,12 +369,21 @@ func (e *Engine) Advance(arrivals []core.AppDemand) (StepReport, error) {
 					continue
 				}
 				x := math.Min(head, move-moved)
+				// A cut or saturated link blocks the rescue: the cores
+				// stay and pause below.
+				if wb != nil {
+					x = math.Min(x, wb.Remaining(s, d)/a.demand.MemGBPerCore)
+					if x <= 1e-9 {
+						continue
+					}
+				}
 				a.cur[s] -= x
 				a.cur[d] += x
 				load[s] -= x
 				load[d] += x
 				moved += x
 				gb := x * a.demand.MemGBPerCore
+				wb.Consume(s, d, gb)
 				res.Transfer.Values[t] += gb
 				res.PerApp[a.demand.ID] += gb
 				res.ForcedGB += gb

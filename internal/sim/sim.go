@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"github.com/vbcloud/vb/internal/core"
+	"github.com/vbcloud/vb/internal/fault"
 	"github.com/vbcloud/vb/internal/forecast"
 	"github.com/vbcloud/vb/internal/obs"
 	"github.com/vbcloud/vb/internal/stats"
@@ -40,6 +41,12 @@ type Input struct {
 	// (planned reallocations, forced migrations, pauses, shortfalls) from
 	// the engine. A nil registry is a no-op.
 	Obs *obs.Registry
+	// Faults, when non-nil, injects scripted faults: site blackouts and
+	// brownouts scale actual capacity, forecast busts distort predictions,
+	// WAN faults cap per-step migration bandwidth, and solver slowdowns
+	// derate the scheduler's node budget. A nil injector is the identity
+	// and reproduces fault-free runs bit-for-bit.
+	Faults *fault.Injector
 }
 
 // Validate reports input errors.
@@ -112,13 +119,20 @@ func (r Result) Availability(appID int) float64 {
 }
 
 // MeanAvailability averages Availability over all applications with
-// recorded demand (1 when there are none).
+// recorded demand (1 when there are none). The sum runs in app-ID order:
+// float addition is not associative, so summing in map-iteration order
+// would jitter the mean by an ulp between otherwise identical runs.
 func (r Result) MeanAvailability() float64 {
 	if len(r.PerAppDemand) == 0 {
 		return 1
 	}
-	var sum float64
+	ids := make([]int, 0, len(r.PerAppDemand))
 	for id := range r.PerAppDemand {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var sum float64
+	for _, id := range ids {
 		sum += r.Availability(id)
 	}
 	return sum / float64(len(r.PerAppDemand))

@@ -9,6 +9,7 @@ import (
 
 	"github.com/vbcloud/vb/internal/cluster"
 	"github.com/vbcloud/vb/internal/core"
+	"github.com/vbcloud/vb/internal/fault"
 	"github.com/vbcloud/vb/internal/obs"
 	"github.com/vbcloud/vb/internal/trace"
 	"github.com/vbcloud/vb/internal/workload"
@@ -246,10 +247,19 @@ func (e *VMEngine) Advance(arrivals []AppArrival) (VMStepReport, error) {
 	numSites := e.numSites
 	predCap, stableCap := capacityFns(e.in, e.base, e.util, now, t, e.stepsPer, e.T)
 
+	// Fault injection: capacity faults scale the power each site sees,
+	// solver slowdowns derate the scheduler's node budget, and WAN faults
+	// bound this step's reconcile traffic. All methods are nil-safe no-ops
+	// without an injector.
+	inj := e.in.Faults
+	inj.OnStep(t, reg)
+	e.sched.SetSolverPressure(inj.SolverInflation(t))
+	wb := inj.WANBudget(t)
+
 	// 1. Apply power to every site. Evicted VMs are marked displaced
 	// (site -1) and re-homed in step 4.
 	for sIdx, site := range e.sites {
-		for _, vm := range site.SetPowerEvict(e.in.Actual[sIdx].Values[t]) {
+		for _, vm := range site.SetPowerEvict(e.in.Actual[sIdx].Values[t] * inj.CapFactor(sIdx, t)) {
 			e.vmSite[vm.ID] = -1
 			rep.Evicted = append(rep.Evicted, VMEvent{VM: vm.ID, App: vm.AppID, Site: sIdx})
 			reg.Emit(obs.Event{Type: obs.VMEvicted, Step: t, App: vm.AppID, Site: sIdx, Dst: -1,
@@ -300,11 +310,14 @@ func (e *VMEngine) Advance(arrivals []AppArrival) (VMStepReport, error) {
 		if !st.started || t >= st.endStep || st.plan.Alloc == nil {
 			continue
 		}
-		e.reconcile(st, t, &rep)
+		e.reconcile(st, t, wb, &rep)
 	}
 
 	// 4. Re-home displaced VMs and start never-placed VMs at their app's
-	// planned sites (or anywhere with room).
+	// planned sites (or anywhere with room). Rehoming is not WAN-gated: an
+	// evicted VM has no live source replica (From is -1), so its relaunch
+	// pulls from durable storage rather than the inter-site links the fault
+	// model meters.
 	for _, st := range e.order {
 		if !st.started || t >= st.endStep {
 			continue
@@ -376,7 +389,7 @@ func (e *VMEngine) Advance(arrivals []AppArrival) (VMStepReport, error) {
 
 // reconcile moves an app's VMs between sites until per-site core sums are
 // within one VM of the plan, charging traffic for each move.
-func (e *VMEngine) reconcile(st *vmAppState, t int, rep *VMStepReport) {
+func (e *VMEngine) reconcile(st *vmAppState, t int, wb *fault.LinkBudget, rep *VMStepReport) {
 	numSites := e.numSites
 	plan := st.plan
 	cur := make([]float64, numSites)
@@ -406,15 +419,21 @@ func (e *VMEngine) reconcile(st *vmAppState, t int, rep *VMStepReport) {
 			if dst < 0 {
 				break
 			}
+			gb := float64(vm.MemoryGB)
+			if wb != nil && !wb.CanMove(src, dst, gb) {
+				continue // WAN link cut or out of budget; stay put
+			}
 			if !e.sites[dst].Admit(vm) {
 				continue // fragmentation or admission refuses; stay put
+			}
+			if wb != nil {
+				wb.Consume(src, dst, gb)
 			}
 			e.sites[src].Remove(vm.ID)
 			e.vmSite[vm.ID] = dst
 			cur[src] -= float64(vm.Cores)
 			cur[dst] += float64(vm.Cores)
 			over -= float64(vm.Cores)
-			gb := float64(vm.MemoryGB)
 			e.res.Transfer.Values[t] += gb
 			e.res.Moves++
 			rep.Moves = append(rep.Moves, VMMove{VM: vm.ID, App: vm.AppID, From: src, To: dst,
@@ -438,6 +457,12 @@ type vmEngineFingerprint struct {
 	TotalCores float64
 	Cluster    cluster.Config
 	Start      time.Time
+	// FaultHash pins the fault script: a snapshot taken under one fault
+	// timeline must not restore into an engine running a different one, or
+	// the replayed decisions would silently diverge. Zero means no faults
+	// (and old snapshots without the field decode to zero, which matches a
+	// nil injector).
+	FaultHash uint64
 }
 
 func (e *VMEngine) fingerprint() vmEngineFingerprint {
@@ -449,6 +474,7 @@ func (e *VMEngine) fingerprint() vmEngineFingerprint {
 		TotalCores: e.in.TotalCores,
 		Cluster:    e.clusterCfg,
 		Start:      e.base.Start,
+		FaultHash:  e.in.Faults.Hash(),
 	}
 }
 
@@ -511,18 +537,42 @@ func (e *VMEngine) Snapshot(w io.Writer) error {
 	return nil
 }
 
+// countingReader tracks how many bytes a decoder has consumed, so corrupt
+// snapshots can be reported with a byte position.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // RestoreVMEngine rebuilds an engine from a Snapshot. cfg, in, and
 // clusterCfg must describe the same run that produced the snapshot (the
 // snapshot's fingerprint is checked); the restored engine continues from
 // the snapshotted step with the exact decision state of the original.
-func RestoreVMEngine(cfg core.Config, in Input, clusterCfg cluster.Config, r io.Reader) (*VMEngine, error) {
+//
+// Corrupt input — truncated, bit-flipped, or otherwise undecodable — always
+// returns an error carrying the byte offset where decoding failed, never a
+// panic: gob panics on some malformed type descriptors, and a daemon
+// restoring a damaged snapshot must degrade to a fresh start, not crash.
+func RestoreVMEngine(cfg core.Config, in Input, clusterCfg cluster.Config, r io.Reader) (eng *VMEngine, err error) {
+	cr := &countingReader{r: r}
+	defer func() {
+		if p := recover(); p != nil {
+			eng, err = nil, fmt.Errorf("sim: decoding engine snapshot: corrupt stream at byte %d: %v", cr.n, p)
+		}
+	}()
 	e, err := NewVMEngine(cfg, in, clusterCfg)
 	if err != nil {
 		return nil, err
 	}
 	var st vmEngineState
-	if err := gob.NewDecoder(r).Decode(&st); err != nil {
-		return nil, fmt.Errorf("sim: decoding engine snapshot: %w", err)
+	if err := gob.NewDecoder(cr).Decode(&st); err != nil {
+		return nil, fmt.Errorf("sim: decoding engine snapshot at byte %d: %w", cr.n, err)
 	}
 	if got, want := st.Fingerprint, e.fingerprint(); got != want {
 		return nil, fmt.Errorf("sim: snapshot fingerprint %+v does not match engine %+v", got, want)
@@ -535,6 +585,27 @@ func RestoreVMEngine(cfg core.Config, in Input, clusterCfg cluster.Config, r io.
 	}
 	if len(st.Sites) != e.numSites {
 		return nil, fmt.Errorf("sim: snapshot has %d sites, want %d", len(st.Sites), e.numSites)
+	}
+	for _, a := range st.Apps {
+		if a.Plan.Alloc == nil {
+			continue
+		}
+		if len(a.Plan.Alloc) != e.numSites {
+			return nil, fmt.Errorf("sim: snapshot app %d plan has %d site rows, want %d",
+				a.Demand.ID, len(a.Plan.Alloc), e.numSites)
+		}
+		for s, row := range a.Plan.Alloc {
+			if len(row) != e.T {
+				return nil, fmt.Errorf("sim: snapshot app %d plan site %d has %d steps, want %d",
+					a.Demand.ID, s, len(row), e.T)
+			}
+		}
+	}
+	for id, s := range st.VMSite {
+		if s < -1 || s >= e.numSites {
+			return nil, fmt.Errorf("sim: snapshot places VM %d at site %d (valid range is [-1,%d))",
+				id, s, e.numSites)
+		}
 	}
 	for i, siteState := range st.Sites {
 		site, err := cluster.NewFromState(siteState)

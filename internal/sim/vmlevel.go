@@ -127,7 +127,9 @@ func capacityFns(in Input, base trace.Series, util float64, now time.Time, t, st
 		if !ok {
 			v = 0
 		}
-		return util * v * in.TotalCores
+		// Fault view: in-flight outages (known once struck) and forecast
+		// busts scale the prediction; ×1.0 is bit-exact with no injector.
+		return util * v * in.TotalCores * in.Faults.ForecastFactor(site, t, step)
 	}
 	stableCap = func(site, step int) float64 {
 		target := base.TimeAt(step)
@@ -148,7 +150,7 @@ func capacityFns(in Input, base trace.Series, util float64, now time.Time, t, st
 		if math.IsInf(v, 1) {
 			v = 0
 		}
-		return (1 - margin(lead)) * util * v * in.TotalCores
+		return (1 - margin(lead)) * util * v * in.TotalCores * in.Faults.ForecastFactor(site, t, step)
 	}
 	return predCap, stableCap
 }

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Chaos smoke at the binary level: the daemon must survive faults, a hard
+# kill, and a snapshot restore without changing a single decision.
+#
+#  1. Replay byte-identity UNDER FAULTS: a run with a blackout + solver
+#     slowdown script, interrupted by a snapshot and resumed in a fresh
+#     process, must produce a decision log byte-identical to the
+#     uninterrupted faulted run's.
+#  2. Restoring that snapshot under a DIFFERENT fault script must be
+#     refused (the snapshot records the script hash).
+#  3. Live cycle: start the daemon under faults, wait for /readyz, step,
+#     snapshot over HTTP, kill -9 the process, restart with -restore, and
+#     require the restored daemon to resume at the snapshotted step and
+#     drain cleanly on SIGTERM.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+  rm -rf "$dir"
+}
+trap cleanup EXIT
+
+go build -o "$dir/vbserve" ./cmd/vbserve
+args=(-seed 42 -days 3 -policy MIP)
+faults='blackout:1@4-8,slow:-1@0-12=4096'
+
+# --- 1. faulted snapshot/restore byte-identity -------------------------------
+"$dir/vbserve" "${args[@]}" -genlog -out "$dir/requests.jsonl"
+"$dir/vbserve" "${args[@]}" -faults "$faults" \
+  -replay "$dir/requests.jsonl" -decisions "$dir/full.jsonl"
+"$dir/vbserve" "${args[@]}" -faults "$faults" \
+  -replay "$dir/requests.jsonl" -decisions "$dir/part1.jsonl" \
+  -snapshot "$dir/snap.bin" -snapshot-after 5
+"$dir/vbserve" "${args[@]}" -faults "$faults" \
+  -replay "$dir/requests.jsonl" -decisions "$dir/part2.jsonl" \
+  -restore "$dir/snap.bin"
+cat "$dir/part1.jsonl" "$dir/part2.jsonl" | cmp - "$dir/full.jsonl"
+echo "chaos smoke 1 OK: faulted decision logs byte-identical across snapshot/restore"
+
+# --- 2. restore under a different script is refused --------------------------
+if "$dir/vbserve" "${args[@]}" -faults 'blackout:2@4-8' \
+  -replay "$dir/requests.jsonl" -decisions "$dir/bad.jsonl" \
+  -restore "$dir/snap.bin" 2>"$dir/badrestore.err"; then
+  echo "FAIL: restore under a different fault script was accepted" >&2
+  exit 1
+fi
+echo "chaos smoke 2 OK: mismatched fault script rejected at restore"
+
+# --- 3. live daemon: ready -> step -> snapshot -> kill -9 -> restore ---------
+addr=127.0.0.1:8193
+"$dir/vbserve" "${args[@]}" -faults "$faults" -listen "$addr" \
+  -snapshot "$dir/live.bin" >"$dir/daemon1.log" 2>&1 &
+daemon_pid=$!
+
+wait_ready() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://$addr/readyz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "FAIL: daemon never became ready" >&2
+  return 1
+}
+wait_ready
+curl -fsS "http://$addr/healthz" >/dev/null
+
+for _ in 1 2 3; do
+  curl -fsS -X POST "http://$addr/v1/step" >/dev/null
+done
+curl -fsS -X POST "http://$addr/v1/snapshot" >/dev/null
+step_before=$(curl -fsS "http://$addr/v1/state" | sed -n 's/.*"step":\([0-9]*\).*/\1/p')
+
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+
+"$dir/vbserve" "${args[@]}" -faults "$faults" -listen "$addr" \
+  -restore "$dir/live.bin" >"$dir/daemon2.log" 2>&1 &
+daemon_pid=$!
+wait_ready
+step_after=$(curl -fsS "http://$addr/v1/state" | sed -n 's/.*"step":\([0-9]*\).*/\1/p')
+if [ "$step_before" != "$step_after" ]; then
+  echo "FAIL: restored daemon at step $step_after, want $step_before" >&2
+  exit 1
+fi
+curl -fsS -X POST "http://$addr/v1/step" >/dev/null
+
+# Graceful drain: SIGTERM must exit 0 within the shutdown deadline.
+kill -TERM "$daemon_pid"
+if ! wait "$daemon_pid"; then
+  echo "FAIL: daemon did not shut down cleanly on SIGTERM" >&2
+  exit 1
+fi
+daemon_pid=""
+echo "chaos smoke 3 OK: kill -9 + restore resumed at step $step_after; SIGTERM drained cleanly"

@@ -68,6 +68,12 @@ type Table1Setup struct {
 	LeadDependentForecasts bool
 	// Policies restricts which policies run (nil = all four).
 	Policies []Policy
+	// Faults, when non-nil, injects the scripted faults (site blackouts,
+	// brownouts, WAN cuts, forecast busts, solver slowdowns) into every
+	// policy's run. The script is validated against the experiment's
+	// dimensions when the input is built; faults are part of the
+	// deterministic run identity (same seed + same script = same rows).
+	Faults *FaultScript
 	// Obs, when non-nil, observes the run: trace generation, forecasting,
 	// scheduling and simulation all report into it. Nil disables
 	// observability at zero cost.
@@ -183,6 +189,13 @@ func buildGroupInput(s Table1Setup, start time.Time, trio []SiteConfig) (sim.Inp
 		TotalCores: float64(DefaultClusterConfig().TotalCores()),
 		Apps:       demands,
 		Obs:        s.Obs,
+	}
+	if s.Faults != nil {
+		inj, err := NewFaultInjector(s.Faults, len(trio), actual[0].Len())
+		if err != nil {
+			return sim.Input{}, nil, err
+		}
+		in.Faults = inj
 	}
 	return in, trio, nil
 }

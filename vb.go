@@ -25,6 +25,7 @@ import (
 	"github.com/vbcloud/vb/internal/core"
 	"github.com/vbcloud/vb/internal/econ"
 	"github.com/vbcloud/vb/internal/energy"
+	"github.com/vbcloud/vb/internal/fault"
 	"github.com/vbcloud/vb/internal/forecast"
 	"github.com/vbcloud/vb/internal/graph"
 	"github.com/vbcloud/vb/internal/obs"
@@ -178,6 +179,51 @@ const (
 	PolicyMIPPeak = core.MIPPeak
 )
 
+// Fault injection (robustness experiments and chaos testing).
+type (
+	// FaultKind names a fault class (blackout, brownout, WAN cut, ...).
+	FaultKind = fault.Kind
+	// FaultEvent is one scheduled fault with a step window and severity.
+	FaultEvent = fault.Event
+	// FaultScript is an ordered list of fault events for one scenario.
+	FaultScript = fault.Script
+	// FaultInjector compiles a validated script into the per-step lookups
+	// the engines query; nil is the no-fault identity.
+	FaultInjector = fault.Injector
+	// FaultRandomConfig parameterizes RandomFaultScript.
+	FaultRandomConfig = fault.RandomConfig
+)
+
+// Fault kinds.
+const (
+	FaultSiteBlackout   = fault.SiteBlackout
+	FaultSiteBrownout   = fault.SiteBrownout
+	FaultWANCut         = fault.WANCut
+	FaultWANDegraded    = fault.WANDegraded
+	FaultForecastBust   = fault.ForecastBust
+	FaultSolverSlowdown = fault.SolverSlowdown
+)
+
+// NewFaultInjector validates a script against the scenario dimensions and
+// compiles it. A nil or empty script yields a nil injector (and nil error),
+// which reproduces fault-free runs bit-for-bit.
+func NewFaultInjector(s *FaultScript, numSites, steps int) (*FaultInjector, error) {
+	return fault.NewInjector(s, numSites, steps)
+}
+
+// LoadFaultScript reads a JSON fault script from disk.
+func LoadFaultScript(path string) (*FaultScript, error) { return fault.LoadScript(path) }
+
+// ParseFaultSpec parses a compact command-line fault spec such as
+// "blackout:0@4-8,slow:*@0-28=8" (see internal/fault.ParseSpec).
+func ParseFaultSpec(spec string) (*FaultScript, error) { return fault.ParseSpec(spec) }
+
+// RandomFaultScript draws a valid random fault script from a seed; the same
+// seed and config always yield the same script.
+func RandomFaultScript(seed int64, cfg FaultRandomConfig) *FaultScript {
+	return fault.RandomScript(seed, cfg)
+}
+
 // WAN and economics models.
 type (
 	// WANConfig describes the shared wide-area fabric.
@@ -228,18 +274,20 @@ type (
 
 // Trace event types emitted by the simulation pipeline.
 const (
-	EventPlanComputed    = obs.PlanComputed
-	EventPlannedRealloc  = obs.PlannedRealloc
-	EventForcedMigration = obs.ForcedMigration
-	EventStablePause     = obs.StablePause
-	EventShortfall       = obs.Shortfall
-	EventHorizonSwitch   = obs.HorizonSwitch
-	EventMIPSolveStart   = obs.MIPSolveStart
-	EventMIPSolveFinish  = obs.MIPSolveFinish
-	EventVMEvicted       = obs.VMEvicted
-	EventVMMoved         = obs.VMMoved
-	EventVMPlacementFail = obs.VMPlacementFail
-	EventSiteStep        = obs.SiteStep
+	EventPlanComputed      = obs.PlanComputed
+	EventPlannedRealloc    = obs.PlannedRealloc
+	EventForcedMigration   = obs.ForcedMigration
+	EventStablePause       = obs.StablePause
+	EventShortfall         = obs.Shortfall
+	EventHorizonSwitch     = obs.HorizonSwitch
+	EventMIPSolveStart     = obs.MIPSolveStart
+	EventMIPSolveFinish    = obs.MIPSolveFinish
+	EventVMEvicted         = obs.VMEvicted
+	EventVMMoved           = obs.VMMoved
+	EventVMPlacementFail   = obs.VMPlacementFail
+	EventSiteStep          = obs.SiteStep
+	EventFaultInjected     = obs.FaultInjected
+	EventSchedulerFallback = obs.SchedulerFallback
 )
 
 // NewMetrics returns an empty run-scoped metrics registry with an attached

@@ -21,6 +21,7 @@
 // Usage:
 //
 //	vbserve -listen :8091                     # HTTP daemon
+//	vbserve -workload cohorts.json -genlog    # SLO cohort request log
 //	vbserve -genlog -out requests.jsonl       # record the workload
 //	vbserve -replay requests.jsonl -decisions full.jsonl
 //	vbserve -replay requests.jsonl -snapshot-after 6 -snapshot snap.bin \
@@ -65,6 +66,7 @@ func main() {
 		genlog     = flag.Bool("genlog", false, "emit the synthetic workload as a request log and exit")
 		out        = flag.String("out", "", "output path for -genlog (default stdout)")
 		faults     = flag.String("faults", "", "fault script: compact spec (kind:site@start-end[=sev],...) or @file.json")
+		workload   = flag.String("workload", "", "drive the daemon with an SLO cohort trace spec (JSON file) instead of the legacy synthetic workload")
 		maxPending = flag.Int("max-pending", 4096, "arrival queue bound before 429 backpressure (0 = unbounded)")
 		drain      = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain deadline on SIGINT/SIGTERM")
 	)
@@ -74,7 +76,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	scn, err := buildScenario(*seed, *days, *appsPerDay, policy)
+	scn, err := buildScenario(*seed, *days, *appsPerDay, policy, *workload)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -132,8 +134,9 @@ type scenario struct {
 // buildScenario reconstructs the full deterministic scenario. It mirrors
 // the repo's experiment setup: the paper's European site trio, hourly
 // generation windowed to the 6-hour plan step, day-horizon forecasts, and
-// a synthetic application workload.
-func buildScenario(seed uint64, days int, appsPerDay float64, policy vb.Policy) (*scenario, error) {
+// a synthetic application workload (legacy two-class by default, an SLO
+// cohort trace when workloadSpec names a spec file).
+func buildScenario(seed uint64, days int, appsPerDay float64, policy vb.Policy, workloadSpec string) (*scenario, error) {
 	if days <= 0 {
 		return nil, fmt.Errorf("non-positive day count %d", days)
 	}
@@ -160,14 +163,7 @@ func buildScenario(seed uint64, days int, appsPerDay float64, policy vb.Policy) 
 			return nil, err
 		}
 	}
-	apps, err := vb.GenerateApps(vb.AppConfig{
-		Seed:           seed,
-		Start:          scenarioStart,
-		Duration:       time.Duration(days) * 24 * time.Hour,
-		MeanAppsPerDay: appsPerDay,
-		MeanVMsPerApp:  60,
-		StableFraction: 0.7,
-	})
+	apps, err := scenarioApps(seed, days, appsPerDay, workloadSpec)
 	if err != nil {
 		return nil, err
 	}
@@ -182,20 +178,42 @@ func buildScenario(seed uint64, days int, appsPerDay float64, policy vb.Policy) 
 		if a.TotalCores() == 0 {
 			continue
 		}
-		arrivals = append(arrivals, vb.AppArrival{
-			Demand: vb.AppDemand{
-				ID:           a.ID,
-				Cores:        float64(a.TotalCores()),
-				StableCores:  float64(a.StableCores()),
-				MemGBPerCore: float64(a.TotalMemoryGB()) / float64(a.TotalCores()),
-				Start:        a.Arrival,
-			},
-			VMs: a.VMs,
-		})
+		d, err := vb.DemandFromApp(a)
+		if err != nil {
+			return nil, err
+		}
+		arrivals = append(arrivals, vb.AppArrival{Demand: d, VMs: a.VMs})
 	}
 	sort.Slice(arrivals, func(i, j int) bool {
 		return arrivals[i].Demand.Start.Before(arrivals[j].Demand.Start)
 	})
+	return assembleScenario(policy, reg, actual, bundles, clusterCfg, arrivals), nil
+}
+
+// scenarioApps generates the daemon's application stream: the legacy
+// two-class synthetic workload by default, or an SLO cohort trace when a
+// -workload spec file is given. A cohort spec is used as given — its own
+// seed, arrival rate, and window apply — so it should start at the
+// scenario anchor (2020-05-01) for arrivals to land inside the timeline.
+func scenarioApps(seed uint64, days int, appsPerDay float64, workloadSpec string) ([]vb.App, error) {
+	if workloadSpec != "" {
+		spec, err := vb.LoadTraceSpec(workloadSpec)
+		if err != nil {
+			return nil, err
+		}
+		return vb.GenerateCohortApps(*spec)
+	}
+	return vb.GenerateApps(vb.AppConfig{
+		Seed:           seed,
+		Start:          scenarioStart,
+		Duration:       time.Duration(days) * 24 * time.Hour,
+		MeanAppsPerDay: appsPerDay,
+		MeanVMsPerApp:  60,
+		StableFraction: 0.7,
+	})
+}
+
+func assembleScenario(policy vb.Policy, reg *vb.MetricsRegistry, actual []vb.Series, bundles []*vb.Bundle, clusterCfg vb.ClusterConfig, arrivals []vb.AppArrival) *scenario {
 	return &scenario{
 		cfg: vb.SchedulerConfig{
 			Policy:         policy,
@@ -213,7 +231,7 @@ func buildScenario(seed uint64, days int, appsPerDay float64, policy vb.Policy) 
 		clusterCfg: clusterCfg,
 		reg:        reg,
 		arrivals:   arrivals,
-	}, nil
+	}
 }
 
 // applyFaults compiles a -faults argument (a compact spec, or @path to a

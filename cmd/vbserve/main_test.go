@@ -16,7 +16,7 @@ import (
 
 func testScenario(t *testing.T) *scenario {
 	t.Helper()
-	scn, err := buildScenario(42, 2, 6, vb.PolicyMIP)
+	scn, err := buildScenario(42, 2, 6, vb.PolicyMIP, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,5 +259,51 @@ func TestStateEndpoint(t *testing.T) {
 	mresp.Body.Close()
 	if mresp.StatusCode != http.StatusOK || len(body) == 0 {
 		t.Fatalf("/metrics: HTTP %d, %d bytes", mresp.StatusCode, len(body))
+	}
+}
+
+// TestCohortScenarioCarriesClasses pins the class plumbing into the daemon:
+// a -workload cohort spec produces arrivals whose demands carry the
+// per-SLO-class core breakdown, and the breakdown survives the request-log
+// JSON round trip a genlog/replay cycle performs.
+func TestCohortScenarioCarriesClasses(t *testing.T) {
+	scn, err := buildScenario(42, 3, 6, vb.PolicyGreedy, "../../examples/cohorts/bursty.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scn.arrivals) == 0 {
+		t.Fatal("cohort scenario generated no arrivals")
+	}
+	classes := map[vb.WorkloadClass]bool{}
+	for _, arr := range scn.arrivals {
+		if len(arr.Demand.ClassCores) == 0 {
+			t.Fatalf("arrival %d has no ClassCores", arr.Demand.ID)
+		}
+		for c := range arr.Demand.ClassCores {
+			classes[c] = true
+		}
+	}
+	if len(classes) < 4 {
+		t.Fatalf("expected >=4 SLO classes across arrivals, got %d: %v", len(classes), classes)
+	}
+
+	// JSON round trip: what genlog writes, replay and /v1/arrive decode.
+	arr := scn.arrivals[0]
+	body, err := json.Marshal(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back vb.AppArrival
+	if err := json.Unmarshal(body, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Demand.ClassCores) != len(arr.Demand.ClassCores) {
+		t.Fatalf("ClassCores lost in JSON round trip: %v -> %v",
+			arr.Demand.ClassCores, back.Demand.ClassCores)
+	}
+	for c, v := range arr.Demand.ClassCores {
+		if back.Demand.ClassCores[c] != v {
+			t.Fatalf("class %v: %v != %v", c, back.Demand.ClassCores[c], v)
+		}
 	}
 }

@@ -10,6 +10,8 @@
 //	vbsim -days 365 -pprof localhost:6060
 //	vbsim -all -parallel 8   # regenerate every figure/table concurrently
 //	vbsim -days 4 -faults 'blackout:1@8-12,slow:-1@0-16=4096'   # faulted Table 1
+//	vbsim -workload cohorts.json -record trace.jsonl   # per-SLO-class table + trace v2
+//	vbsim -replay trace.jsonl                          # same table from the recording
 package main
 
 import (
@@ -43,9 +45,19 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "worker goroutines for generation and experiments (0 = all cores, 1 = serial; output is identical)")
 		runAll     = flag.Bool("all", false, "regenerate every figure and table of the evaluation and exit")
 		faults     = flag.String("faults", "", "run the Table 1 comparison under a fault script: compact spec (kind:site[:peer]@start-end[=sev],...) or @file.json")
+		workload   = flag.String("workload", "", "run the per-SLO-class policy comparison over a cohort trace spec (JSON file)")
+		record     = flag.String("record", "", "with -workload: also record the generated application trace (v2 JSONL) to this file")
+		replay     = flag.String("replay", "", "run the per-SLO-class policy comparison over a recorded trace (v2 JSONL file)")
 	)
 	flag.Parse()
 	vb.SetParallelism(*parallel)
+
+	if *workload != "" || *replay != "" {
+		if err := runWorkload(*seed, *days, *workload, *record, *replay); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *faults != "" {
 		if err := runFaulted(*seed, *days, *faults); err != nil {
@@ -160,6 +172,70 @@ func main() {
 			h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max)
 	}
 	fmt.Printf("  at %.0f Gb/s per-site WAN: see `go test -bench=BenchmarkWANBusyFraction`\n", link)
+}
+
+// runWorkload drives the per-SLO-class policy comparison from a cohort
+// trace spec (-workload, optionally recording the generated trace with
+// -record) or from a previously recorded trace (-replay). A record/replay
+// round trip reproduces the generated run's table bit for bit.
+func runWorkload(seed uint64, days int, specPath, recordPath, replayPath string) error {
+	if specPath != "" && replayPath != "" {
+		return fmt.Errorf("-workload and -replay are mutually exclusive")
+	}
+	if recordPath != "" && specPath == "" {
+		return fmt.Errorf("-record requires -workload")
+	}
+	setup := vb.SLOClassSetup{Seed: seed, Days: days}
+
+	if replayPath != "" {
+		f, err := os.Open(replayPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		h, apps, err := vb.ReadAppTrace(f)
+		if err != nil {
+			return err
+		}
+		res, err := vb.SLOClassReplay(setup, apps)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Replayed trace: %d apps, seed %d, spec %s\n", len(apps), h.Seed, h.SpecHash)
+		fmt.Print(res.Report())
+		return nil
+	}
+
+	spec, err := vb.LoadTraceSpec(specPath)
+	if err != nil {
+		return err
+	}
+	setup.Spec = spec
+	if recordPath != "" {
+		apps, err := vb.GenerateCohortApps(*spec)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(recordPath)
+		if err != nil {
+			return err
+		}
+		h := vb.TraceHeader{Seed: spec.Seed, SpecHash: fmt.Sprintf("%016x", spec.Hash())}
+		if err := vb.WriteAppTrace(f, h, apps); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		log.Printf("recorded %d apps to %s", len(apps), recordPath)
+	}
+	res, err := vb.SLOClassComparison(setup)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Report())
+	return nil
 }
 
 // runFaulted reruns the multi-site Table 1 policy comparison under a fault

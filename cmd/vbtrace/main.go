@@ -6,6 +6,8 @@
 //	vbtrace -days 7 -step 15m -seed 42 -sites trio -format csv > power.csv
 //	vbtrace -days 365 -summary
 //	vbtrace -days 30 -forecast 24h
+//	vbtrace -workload cohorts.json > apps.jsonl       # cohort app trace (v2 JSONL)
+//	vbtrace -workload cohorts.json -format summary    # per-class breakdown
 package main
 
 import (
@@ -32,9 +34,17 @@ func main() {
 		startArg   = flag.String("start", "2020-01-01", "trace start date (YYYY-MM-DD)")
 		metricsOut = flag.String("metrics", "", "write a generation manifest (metrics JSON) to this file")
 		parallel   = flag.Int("parallel", 0, "worker goroutines for trace generation (0 = all cores, 1 = serial; output is identical)")
+		workload   = flag.String("workload", "", "generate an application trace from a cohort spec (JSON file): trace v2 JSONL on stdout, or a per-class breakdown with -format summary")
 	)
 	flag.Parse()
 	vb.SetParallelism(*parallel)
+
+	if *workload != "" {
+		if err := runWorkloadTrace(*workload, *format); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	start, err := time.Parse("2006-01-02", *startArg)
 	if err != nil {
@@ -124,4 +134,50 @@ func main() {
 	default:
 		log.Fatalf("unknown -format %q", *format)
 	}
+}
+
+// runWorkloadTrace generates a cohort application trace from a spec file and
+// emits it as versioned trace v2 JSONL (format "csv" is not meaningful here;
+// "summary" prints the per-cohort class/size breakdown instead).
+func runWorkloadTrace(specPath, format string) error {
+	spec, err := vb.LoadTraceSpec(specPath)
+	if err != nil {
+		return err
+	}
+	apps, err := vb.GenerateCohortApps(*spec)
+	if err != nil {
+		return err
+	}
+	if format == "summary" {
+		type agg struct {
+			apps, vms, cores int
+		}
+		byClass := map[vb.WorkloadClass]*agg{}
+		for _, a := range apps {
+			for _, v := range a.VMs {
+				c := byClass[v.Class]
+				if c == nil {
+					c = &agg{}
+					byClass[v.Class] = c
+				}
+				c.vms++
+				c.cores += v.Cores
+			}
+			cls := a.VMs[0].Class
+			byClass[cls].apps++
+		}
+		fmt.Printf("cohort trace: %d apps over %.0f h (seed %d, spec %016x)\n",
+			len(apps), spec.DurationHours, spec.Seed, spec.Hash())
+		fmt.Printf("%-12s %8s %8s %8s\n", "class", "apps", "vms", "cores")
+		for _, c := range vb.AllWorkloadClasses() {
+			a := byClass[c]
+			if a == nil {
+				continue
+			}
+			fmt.Printf("%-12s %8d %8d %8d\n", c, a.apps, a.vms, a.cores)
+		}
+		return nil
+	}
+	h := vb.TraceHeader{Seed: spec.Seed, SpecHash: fmt.Sprintf("%016x", spec.Hash())}
+	return vb.WriteAppTrace(os.Stdout, h, apps)
 }

@@ -13,16 +13,40 @@ import (
 func appDemands(apps []workload.App) ([]core.AppDemand, error) {
 	demands := make([]core.AppDemand, 0, len(apps))
 	for _, a := range apps {
-		if err := a.Validate(); err != nil {
+		d, err := DemandFromApp(a)
+		if err != nil {
 			return nil, err
 		}
-		demands = append(demands, core.AppDemand{
-			ID:           a.ID,
-			Cores:        float64(a.TotalCores()),
-			StableCores:  float64(a.StableCores()),
-			MemGBPerCore: float64(a.TotalMemoryGB()) / float64(a.TotalCores()),
-			Start:        a.Arrival,
-		})
+		demands = append(demands, d)
 	}
 	return demands, nil
+}
+
+// DemandFromApp converts one application into its scheduler demand,
+// including the per-SLO-class core breakdown the class-aware accounting
+// runs on. The app is validated first (see appDemands).
+func DemandFromApp(a workload.App) (core.AppDemand, error) {
+	if err := a.Validate(); err != nil {
+		return core.AppDemand{}, err
+	}
+	byClass := a.CoresByClass()
+	classes := make(map[workload.Class]float64, len(byClass))
+	for c, n := range byClass {
+		classes[c] = float64(n)
+	}
+	d := core.AppDemand{
+		ID: a.ID,
+		// FirmCores counts every SLO-bearing class; for legacy traces
+		// (Stable + Degradable only) it equals StableCores exactly, so
+		// seed experiments are unaffected.
+		Cores:        float64(a.TotalCores()),
+		StableCores:  float64(a.FirmCores()),
+		MemGBPerCore: float64(a.TotalMemoryGB()) / float64(a.TotalCores()),
+		Start:        a.Arrival,
+		ClassCores:   classes,
+	}
+	if a.Duration > 0 {
+		d.End = a.Arrival.Add(a.Duration)
+	}
+	return d, nil
 }

@@ -1,0 +1,43 @@
+package vb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTable1ReportGolden pins the legacy-compatibility contract: the default
+// Stable/Degradable Table 1 comparison at DefaultSeed must render byte-
+// identically to the committed golden. The golden was captured before the
+// SLO-class refactor, so any drift here means the refactor changed a legacy
+// decision (RNG draw order, scheduler objective, pause ordering, ...), which
+// is a bug, not a baseline to re-record.
+//
+// Regenerate (only for an intentional, reviewed behaviour change) with:
+//
+//	VB_UPDATE_GOLDEN=1 go test -run Table1ReportGolden .
+func TestTable1ReportGolden(t *testing.T) {
+	res, err := Table1PolicyComparison(Table1Setup{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Report()
+	path := filepath.Join("testdata", "table1_seed.golden")
+	if os.Getenv("VB_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with VB_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("Table 1 report diverged from the pre-refactor seed:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"github.com/vbcloud/vb/internal/obs"
+	"github.com/vbcloud/vb/internal/workload"
 )
 
 // Policy selects a scheduling strategy from the paper's Table 1.
@@ -163,11 +164,59 @@ type AppDemand struct {
 	// StableCores of those require high availability; the rest are
 	// degradable and absorb power dips without migrating.
 	StableCores float64
+	// ClassCores optionally refines the demand by SLO class (cores per
+	// class). Nil means the legacy two-class view: StableCores of Stable and
+	// the remainder Degradable. When set, the firm-class cores must sum to
+	// StableCores and all classes to Cores.
+	ClassCores map[workload.Class]float64
 	// MemGBPerCore converts migrated cores into migration bytes.
 	MemGBPerCore float64
 	// Start and End are the activity interval (End zero = until horizon).
 	Start time.Time
 	End   time.Time
+}
+
+// PauseWeight returns the demand's pause-cost weight: the core-weighted mean
+// of its firm classes' pause weights. Legacy demands (nil ClassCores) weigh
+// exactly 1 — the Stable class weight — so the MIP objective is bit-identical
+// to the two-class scheduler's.
+func (a AppDemand) PauseWeight() float64 {
+	if len(a.ClassCores) == 0 {
+		return 1
+	}
+	var wSum, cores float64
+	for c, n := range a.ClassCores {
+		if !c.Firm() || n <= 0 {
+			continue
+		}
+		wSum += c.PauseWeight() * n
+		cores += n
+	}
+	if cores <= 0 {
+		return 1
+	}
+	return wSum / cores
+}
+
+// ClassBreakdown returns the demand's cores per SLO class. Legacy demands map
+// onto {Stable, Degradable}; zero-core classes are absent.
+func (a AppDemand) ClassBreakdown() map[workload.Class]float64 {
+	m := make(map[workload.Class]float64, 2)
+	if len(a.ClassCores) > 0 {
+		for c, n := range a.ClassCores {
+			if n > 0 {
+				m[c] = n
+			}
+		}
+		return m
+	}
+	if a.StableCores > 0 {
+		m[workload.Stable] = a.StableCores
+	}
+	if d := a.Cores - a.StableCores; d > 0 {
+		m[workload.Degradable] = d
+	}
+	return m
 }
 
 // Validate reports demand errors. Non-finite fields are rejected explicitly:
@@ -191,6 +240,28 @@ func (a AppDemand) Validate() error {
 	}
 	if a.MemGBPerCore <= 0 {
 		return fmt.Errorf("core: app %d has non-positive memory per core", a.ID)
+	}
+	if a.ClassCores != nil {
+		var firm, total float64
+		for c, n := range a.ClassCores {
+			if !c.Valid() {
+				return fmt.Errorf("core: app %d has unknown class %d", a.ID, int(c))
+			}
+			if math.IsNaN(n) || math.IsInf(n, 0) || n < 0 {
+				return fmt.Errorf("core: app %d has invalid %v cores (%v)", a.ID, c, n)
+			}
+			if c.Firm() {
+				firm += n
+			}
+			total += n
+		}
+		const eps = 1e-6
+		if math.Abs(firm-a.StableCores) > eps {
+			return fmt.Errorf("core: app %d firm class cores %v disagree with stable cores %v", a.ID, firm, a.StableCores)
+		}
+		if math.Abs(total-a.Cores) > eps {
+			return fmt.Errorf("core: app %d class cores sum %v disagrees with cores %v", a.ID, total, a.Cores)
+		}
 	}
 	return nil
 }

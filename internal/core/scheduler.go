@@ -336,8 +336,11 @@ func (s *Scheduler) placeMIP(app AppDemand, nowStep, endStep int, predCap, stabl
 			obj[oVar(site, tau)] = overWeight * memGB
 		}
 	}
-	// Shortfall penalty: far larger than any plausible migration cost.
-	shortfallPenalty := 1000 * memGB * float64(H)
+	// Shortfall penalty: far larger than any plausible migration cost,
+	// scaled by the demand's SLO-class pause weight so a RealTime-heavy
+	// app's unplaced cores cost more than a Batch app's. Legacy demands
+	// weigh exactly 1, leaving the objective bit-identical.
+	shortfallPenalty := 1000 * memGB * float64(H) * app.PauseWeight()
 	for tau := 0; tau < H; tau++ {
 		obj[uVar(tau)] = shortfallPenalty
 	}

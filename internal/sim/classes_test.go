@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/vbcloud/vb/internal/core"
+	"github.com/vbcloud/vb/internal/energy"
+	"github.com/vbcloud/vb/internal/forecast"
+	"github.com/vbcloud/vb/internal/trace"
+	"github.com/vbcloud/vb/internal/workload"
+)
+
+// singleSiteInput builds a one-site input from a literal power curve. With
+// nowhere to migrate, every capacity dip turns directly into pauses, which
+// makes the degradation ladder's choices observable in the class ledgers.
+func singleSiteInput(t *testing.T, vals []float64, apps []core.AppDemand) Input {
+	t.Helper()
+	s := trace.FromValues(t0, planStep, vals)
+	b, err := forecast.New(3).NewBundle(s, energy.Wind, "solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.UseFixedHorizon(forecast.HorizonDay); err != nil {
+		t.Fatal(err)
+	}
+	return Input{
+		Actual:     []trace.Series{s},
+		Bundles:    []*forecast.Bundle{b},
+		TotalCores: 1000,
+		Apps:       apps,
+	}
+}
+
+func classDemand(id int, cores float64, classes map[workload.Class]float64) core.AppDemand {
+	var stable float64
+	for c, v := range classes {
+		if c.Firm() {
+			stable += v
+		}
+	}
+	return core.AppDemand{
+		ID: id, Cores: cores, StableCores: stable,
+		MemGBPerCore: 1, Start: t0, ClassCores: classes,
+	}
+}
+
+// TestDegradationLadderOrder pins the ladder: when capacity dips below firm
+// demand, Batch cores pause before RealTime cores see any violation.
+func TestDegradationLadderOrder(t *testing.T) {
+	rt := classDemand(1, 200, map[workload.Class]float64{workload.RealTime: 200})
+	batch := classDemand(2, 200, map[workload.Class]float64{workload.Batch: 200})
+	// util 0.7 x 1000 cores: step 0 holds 700, step 1 dips to 350 — 50 firm
+	// cores over, well inside Batch's 200.
+	in := singleSiteInput(t, []float64{1, 0.5, 1, 1}, []core.AppDemand{rt, batch})
+	cfg := simConfig(core.Greedy)
+
+	eng, err := NewEngine(cfg, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Advance([]core.AppDemand{rt, batch}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Advance(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.PausedByClass["batch"]; math.Abs(got-50) > 1e-6 {
+		t.Errorf("step report paused batch = %v, want 50", got)
+	}
+	if got, ok := rep.PausedByClass["realtime"]; ok {
+		t.Errorf("step report paused realtime = %v, want absent", got)
+	}
+	for !eng.Done() {
+		if _, err := eng.Advance(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := eng.Result()
+	if got := res.PausedByClass[workload.Batch]; math.Abs(got-50) > 1e-6 {
+		t.Errorf("paused batch core-steps = %v, want 50", got)
+	}
+	if got := res.PausedByClass[workload.RealTime]; got != 0 {
+		t.Errorf("paused realtime core-steps = %v, want 0", got)
+	}
+	if got := res.DemandByClass[workload.Batch]; math.Abs(got-800) > 1e-6 {
+		t.Errorf("batch demand = %v, want 800 (200 cores x 4 steps)", got)
+	}
+	if got, want := res.ClassAvailability(workload.Batch), 1-50.0/800; math.Abs(got-want) > 1e-9 {
+		t.Errorf("batch availability = %v, want %v", got, want)
+	}
+	if got := res.ClassAvailability(workload.RealTime); got != 1 {
+		t.Errorf("realtime availability = %v, want 1", got)
+	}
+	// No interactive demand anywhere: trivially available, and absent from
+	// the class listing.
+	if got := res.ClassAvailability(workload.Interactive); got != 1 {
+		t.Errorf("interactive availability = %v, want 1", got)
+	}
+	want := []workload.Class{workload.RealTime, workload.Batch}
+	got := res.Classes()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Classes() = %v, want %v", got, want)
+	}
+}
+
+// TestAllPausedStepNaNFree drives one step to zero capacity: every firm core
+// pauses, and all availability figures stay finite and inside [0, 1].
+func TestAllPausedStepNaNFree(t *testing.T) {
+	rt := classDemand(1, 200, map[workload.Class]float64{workload.RealTime: 200})
+	batch := classDemand(2, 200, map[workload.Class]float64{workload.Batch: 200})
+	in := singleSiteInput(t, []float64{1, 0, 1, 1}, []core.AppDemand{rt, batch})
+	res, err := Run(simConfig(core.Greedy), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []workload.Class{workload.RealTime, workload.Batch} {
+		if got := res.PausedByClass[c]; math.Abs(got-200) > 1e-6 {
+			t.Errorf("%v paused = %v, want 200 (all cores, one step)", c, got)
+		}
+		av := res.ClassAvailability(c)
+		if math.IsNaN(av) || av < 0 || av > 1 {
+			t.Fatalf("%v availability = %v", c, av)
+		}
+		if math.Abs(av-0.75) > 1e-9 {
+			t.Errorf("%v availability = %v, want 0.75", c, av)
+		}
+	}
+	for _, id := range []int{1, 2} {
+		if av := res.Availability(id); math.IsNaN(av) || math.Abs(av-0.75) > 1e-9 {
+			t.Errorf("app %d availability = %v, want 0.75", id, av)
+		}
+	}
+	if av := res.MeanAvailability(); math.IsNaN(av) || math.Abs(av-0.75) > 1e-9 {
+		t.Errorf("mean availability = %v, want 0.75", av)
+	}
+}
+
+// TestZeroStableDemandApp pins the ledgers for a pure-degradable app: it is
+// never admitted, never appears in any demand map, and reports availability
+// 1 without poisoning the mean.
+func TestZeroStableDemandApp(t *testing.T) {
+	deg := classDemand(7, 100, map[workload.Class]float64{workload.Degradable: 100})
+	stable := classDemand(8, 100, map[workload.Class]float64{workload.Stable: 100})
+	in := singleSiteInput(t, []float64{1, 1, 1, 1}, []core.AppDemand{deg, stable})
+	res, err := Run(simConfig(core.Greedy), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.PerAppDemand[7]; ok {
+		t.Error("pure-degradable app should not enter the demand ledger")
+	}
+	if av := res.Availability(7); av != 1 {
+		t.Errorf("pure-degradable app availability = %v, want 1", av)
+	}
+	if av := res.MeanAvailability(); math.IsNaN(av) || av != 1 {
+		t.Errorf("mean availability = %v, want 1", av)
+	}
+	if _, ok := res.DemandByClass[workload.Degradable]; ok {
+		t.Error("degradable demand should not be tracked")
+	}
+	for _, c := range res.Classes() {
+		if c == workload.Degradable {
+			t.Error("Classes() should omit degradable")
+		}
+	}
+}
+
+// TestClassAvailabilityEmptyResult pins the zero-value Result: everything
+// trivially available, nothing NaN.
+func TestClassAvailabilityEmptyResult(t *testing.T) {
+	var empty Result
+	for _, c := range workload.AllClasses {
+		if av := empty.ClassAvailability(c); av != 1 {
+			t.Errorf("%v availability on empty result = %v, want 1", c, av)
+		}
+	}
+	if got := empty.Classes(); len(got) != 0 {
+		t.Errorf("Classes() on empty result = %v, want none", got)
+	}
+}
+
+// TestMixedClassSharesProRata checks that a multi-class app's pauses and
+// demand split across its firm classes by core share (degradable cores
+// excluded from the firm denominator).
+func TestMixedClassSharesProRata(t *testing.T) {
+	mixed := classDemand(3, 300, map[workload.Class]float64{
+		workload.RealTime:   100,
+		workload.Batch:      100,
+		workload.Degradable: 100,
+	})
+	// Step 1 capacity 0.7 x 0.25 x 1000 = 175: the app's 200 firm cores are
+	// 25 over, split evenly across its two firm classes.
+	in := singleSiteInput(t, []float64{1, 0.25, 1, 1}, []core.AppDemand{mixed})
+	res, err := Run(simConfig(core.Greedy), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []workload.Class{workload.RealTime, workload.Batch} {
+		if got := res.PausedByClass[c]; math.Abs(got-12.5) > 1e-6 {
+			t.Errorf("%v paused = %v, want 12.5", c, got)
+		}
+		if got := res.DemandByClass[c]; math.Abs(got-400) > 1e-6 {
+			t.Errorf("%v demand = %v, want 400 (100 cores x 4 steps)", c, got)
+		}
+	}
+	if _, ok := res.PausedByClass[workload.Degradable]; ok {
+		t.Error("degradable cores never pause for accounting purposes")
+	}
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/vbcloud/vb/internal/cluster"
+	"github.com/vbcloud/vb/internal/core"
+)
+
+// TestVMEngineSnapshotBackCompat pins gob snapshot compatibility across the
+// SLO-class refactor: testdata/vmengine_legacy.snapshot was written by the
+// pre-refactor engine (no per-class demand fields in the wire structs), and
+// restoring it must still work and must finish the run with decisions
+// byte-identical to an uninterrupted run of the same scenario.
+//
+// Regenerate only from a pre-change checkout:
+//
+//	VB_UPDATE_GOLDEN=1 go test -run SnapshotBackCompat ./internal/sim/
+func TestVMEngineSnapshotBackCompat(t *testing.T) {
+	in, apps := vmLevelFixtures(t, 2)
+	cfg := simConfig(core.MIP)
+	ccfg := cluster.DefaultConfig()
+	arrivals := vmBatchArrivals(in, apps)
+	path := filepath.Join("testdata", "vmengine_legacy.snapshot")
+
+	// The uninterrupted reference run (same code version as the test run).
+	full, err := NewVMEngine(cfg, in, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullReports := stepReports(t, full, arrivals)
+	mid := full.Steps() / 2
+
+	if os.Getenv("VB_UPDATE_GOLDEN") != "" {
+		half, err := NewVMEngine(cfg, in, ccfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortArrivals(arrivals)
+		next := 0
+		for half.Step() < mid {
+			now := half.Now()
+			var batch []AppArrival
+			for next < len(arrivals) && !arrivals[next].Demand.Start.After(now) {
+				batch = append(batch, arrivals[next])
+				next++
+			}
+			if _, err := half.Advance(batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := half.Snapshot(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s at step %d", path, mid)
+		return
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing legacy snapshot golden (generate from a pre-change checkout): %v", err)
+	}
+	restored, err := RestoreVMEngine(cfg, in, ccfg, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("legacy snapshot no longer restores: %v", err)
+	}
+	if restored.Step() != mid {
+		t.Fatalf("legacy snapshot restored at step %d, want %d", restored.Step(), mid)
+	}
+	// Replay the remaining arrivals and require byte-identical decisions.
+	sortArrivals(arrivals)
+	next := 0
+	for next < len(arrivals) && !arrivals[next].Demand.Start.After(restored.base.TimeAt(mid-1)) {
+		next++
+	}
+	for i := mid; !restored.Done(); i++ {
+		now := restored.Now()
+		var batch []AppArrival
+		for next < len(arrivals) && !arrivals[next].Demand.Start.After(now) {
+			batch = append(batch, arrivals[next])
+			next++
+		}
+		rep, err := restored.Advance(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		line, _ := json.Marshal(rep)
+		if !bytes.Equal(line, fullReports[i]) {
+			t.Fatalf("step %d decision record diverges after legacy restore:\nfull:     %s\nrestored: %s",
+				i, fullReports[i], line)
+		}
+	}
+	gr, gf := restored.Result(), full.Result()
+	if gr.Moves != gf.Moves || gr.FailedPlacements != gf.FailedPlacements || gr.Fragmentation != gf.Fragmentation {
+		t.Fatalf("restored result %+v != full %+v", gr, gf)
+	}
+}

@@ -3,11 +3,13 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"github.com/vbcloud/vb/internal/core"
 	"github.com/vbcloud/vb/internal/obs"
 	"github.com/vbcloud/vb/internal/trace"
+	"github.com/vbcloud/vb/internal/workload"
 )
 
 // Engine is the exported stepping core behind Run: the same admit → replan
@@ -29,8 +31,12 @@ type Engine struct {
 	vecs        *simVecs
 
 	active []*appState
-	step   int
-	res    Result
+	// classed is set once any admitted app carries a non-legacy class
+	// breakdown; until then the degradation ladder is skipped entirely, so
+	// legacy runs take exactly the seed code path.
+	classed bool
+	step    int
+	res     Result
 }
 
 // appState is one admitted application's live scheduling state.
@@ -39,6 +45,39 @@ type appState struct {
 	plan    core.Plan
 	cur     []float64 // current cores per site
 	endStep int
+	// weight and shares cache the demand's pause weight and firm-class
+	// fractions for the ladder sort and per-class attribution.
+	weight float64
+	shares []classShare
+}
+
+// classShare is one firm class's fraction of an app's stable cores, used to
+// attribute pauses, shortfalls, and traffic to SLO classes.
+type classShare struct {
+	class workload.Class
+	frac  float64
+}
+
+// firmShares computes a demand's firm-class fractions in ladder order
+// (deterministic iteration). Legacy demands reduce to {Stable: 1}.
+func firmShares(d core.AppDemand) []classShare {
+	bd := d.ClassBreakdown()
+	var total float64
+	for _, c := range workload.AllClasses {
+		if c.Firm() {
+			total += bd[c]
+		}
+	}
+	if total <= 0 {
+		return nil
+	}
+	var out []classShare
+	for _, c := range workload.AllClasses {
+		if c.Firm() && bd[c] > 0 {
+			out = append(out, classShare{class: c, frac: bd[c] / total})
+		}
+	}
+	return out
 }
 
 // StepReport summarizes what one Advance call did — the per-step decision
@@ -59,6 +98,19 @@ type StepReport struct {
 	// violations.
 	PausedCoreSteps    float64 `json:"paused_core_steps"`
 	ShortfallCoreSteps float64 `json:"shortfall_core_steps"`
+	// PausedByClass and ShortfallByClass break the violations down by SLO
+	// class name (absent when the step had none).
+	PausedByClass    map[string]float64 `json:"paused_by_class,omitempty"`
+	ShortfallByClass map[string]float64 `json:"shortfall_by_class,omitempty"`
+}
+
+// addClassDelta accumulates a per-class step delta, creating the map on
+// first use so clean steps keep their compact JSON form.
+func addClassDelta(m *map[string]float64, c workload.Class, v float64) {
+	if *m == nil {
+		*m = make(map[string]float64)
+	}
+	(*m)[c.String()] += v
 }
 
 // validateStreaming checks everything Input.Validate does except the
@@ -145,11 +197,15 @@ func NewEngine(cfg core.Config, in Input) (*Engine, error) {
 		sched: sched,
 		vecs:  newSimVecs(reg, cfg.Policy, numSites),
 		res: Result{
-			Policy:       cfg.Policy,
-			Transfer:     trace.New(base.Start, base.Step, T),
-			PerApp:       make(map[int]float64),
-			PerAppPaused: make(map[int]float64),
-			PerAppDemand: make(map[int]float64),
+			Policy:           cfg.Policy,
+			Transfer:         trace.New(base.Start, base.Step, T),
+			PerApp:           make(map[int]float64),
+			PerAppPaused:     make(map[int]float64),
+			PerAppDemand:     make(map[int]float64),
+			PausedByClass:    make(map[workload.Class]float64),
+			ShortfallByClass: make(map[workload.Class]float64),
+			DemandByClass:    make(map[workload.Class]float64),
+			TransferByClass:  make(map[workload.Class]trace.Series),
 		},
 	}
 	e.res.InBySite = make([]trace.Series, numSites)
@@ -176,6 +232,20 @@ func (e *Engine) Done() bool { return e.step >= e.T }
 // Result returns the accumulated run result. It is valid at any point;
 // after Done it equals what Run would have returned.
 func (e *Engine) Result() Result { return e.res }
+
+// addClassTransfer attributes a move's traffic to the app's firm classes,
+// creating each class's step series on first use.
+func (e *Engine) addClassTransfer(a *appState, t int, gb float64) {
+	for _, cs := range a.shares {
+		s, ok := e.res.TransferByClass[cs.class]
+		if !ok {
+			s = trace.New(e.base.Start, e.base.Step, e.T)
+			e.res.TransferByClass[cs.class] = s
+		}
+		s.Values[t] += gb * cs.frac
+		e.vecs.transferClass(cs.class, gb*cs.frac)
+	}
+}
 
 func (e *Engine) actCap(site, t int) float64 {
 	// The fault factor multiplies last: a nil injector returns exactly 1
@@ -266,7 +336,11 @@ func (e *Engine) Advance(arrivals []core.AppDemand) (StepReport, error) {
 		if err != nil {
 			return rep, err
 		}
-		st := &appState{demand: d, plan: plan, cur: make([]float64, numSites), endStep: endStep}
+		st := &appState{demand: d, plan: plan, cur: make([]float64, numSites), endStep: endStep,
+			weight: d.PauseWeight(), shares: firmShares(d)}
+		if len(st.shares) != 1 || st.shares[0].class != workload.Stable {
+			e.classed = true
+		}
 		// Initial placement is free (the VMs boot where scheduled).
 		for s := 0; s < numSites; s++ {
 			st.cur[s] = plan.Alloc[s][t]
@@ -337,21 +411,36 @@ func (e *Engine) Advance(arrivals []core.AppDemand) (StepReport, error) {
 				res.PlannedGB += gb
 				res.InBySite[dst].Values[t] += gb
 				res.OutBySite[src].Values[t] += gb
+				e.addClassTransfer(a, t, gb)
 				reg.Emit(obs.Event{Type: obs.PlannedRealloc, Step: t, App: a.demand.ID,
 					Site: src, Dst: dst, Cores: x, GB: gb})
 				e.vecs.plannedMove(a.demand.ID, src, dst, gb)
 			}
 		}
 	}
+	// Degradation ladder: when SLO classes are in play, forced migrations
+	// drain the cheapest-to-pause apps first (ascending pause weight: Batch
+	// before Interactive before RealTime), so whatever cannot move — and
+	// therefore pauses — lands on the most tolerant workloads. Equal weights
+	// keep admission order (SliceStable), and legacy runs skip the sort
+	// entirely: every weight is exactly 1, so the seed decision sequence is
+	// untouched.
+	forcedOrder := e.active
+	if e.classed {
+		forcedOrder = append([]*appState(nil), e.active...)
+		sort.SliceStable(forcedOrder, func(i, j int) bool {
+			return forcedOrder[i].weight < forcedOrder[j].weight
+		})
+	}
 	for s := 0; s < numSites; s++ {
 		over := load[s] - e.actCap(s, t)
 		if over <= 1e-9 {
 			continue
 		}
-		// All tracked cores are stable (degradable VMs pause in place for
+		// All tracked cores are firm (degradable VMs pause in place for
 		// free and are not tracked here): migrate the overflow to sites
 		// with actual headroom.
-		for _, a := range e.active {
+		for _, a := range forcedOrder {
 			if over <= 1e-9 {
 				break
 			}
@@ -389,6 +478,7 @@ func (e *Engine) Advance(arrivals []core.AppDemand) (StepReport, error) {
 				res.ForcedGB += gb
 				res.InBySite[d].Values[t] += gb
 				res.OutBySite[s].Values[t] += gb
+				e.addClassTransfer(a, t, gb)
 				reg.Emit(obs.Event{Type: obs.ForcedMigration, Step: t, App: a.demand.ID,
 					Site: s, Dst: d, Cores: x, GB: gb})
 				e.vecs.forcedMove(a.demand.ID, s, d, gb)
@@ -399,6 +489,11 @@ func (e *Engine) Advance(arrivals []core.AppDemand) (StepReport, error) {
 			if rest > 1e-9 {
 				res.PausedStableCoreSteps += rest
 				res.PerAppPaused[a.demand.ID] += rest
+				for _, cs := range a.shares {
+					res.PausedByClass[cs.class] += rest * cs.frac
+					addClassDelta(&rep.PausedByClass, cs.class, rest*cs.frac)
+					e.vecs.pauseClass(cs.class, rest*cs.frac)
+				}
 				reg.Emit(obs.Event{Type: obs.StablePause, Step: t, App: a.demand.ID,
 					Site: s, Dst: -1, Cores: rest})
 				e.vecs.pause(a.demand.ID, s, rest)
@@ -431,11 +526,19 @@ func (e *Engine) Advance(arrivals []core.AppDemand) (StepReport, error) {
 		if gap := a.demand.StableCores - placed; gap > 1e-9 {
 			res.ShortfallCoreSteps += gap
 			res.PerAppPaused[a.demand.ID] += gap
+			for _, cs := range a.shares {
+				res.ShortfallByClass[cs.class] += gap * cs.frac
+				addClassDelta(&rep.ShortfallByClass, cs.class, gap*cs.frac)
+				e.vecs.shortClass(cs.class, gap*cs.frac)
+			}
 			reg.Emit(obs.Event{Type: obs.Shortfall, Step: t, App: a.demand.ID,
 				Site: -1, Dst: -1, Cores: gap})
 			e.vecs.short(a.demand.ID, gap)
 		}
 		res.PerAppDemand[a.demand.ID] += a.demand.StableCores
+		for _, cs := range a.shares {
+			res.DemandByClass[cs.class] += a.demand.StableCores * cs.frac
+		}
 	}
 	reg.Observe("sim.step_transfer_gb", res.Transfer.Values[t])
 

@@ -24,6 +24,7 @@ import (
 	"github.com/vbcloud/vb/internal/obs"
 	"github.com/vbcloud/vb/internal/stats"
 	"github.com/vbcloud/vb/internal/trace"
+	"github.com/vbcloud/vb/internal/workload"
 )
 
 // Input bundles everything one policy run needs.
@@ -87,6 +88,43 @@ type Result struct {
 	ShortfallCoreSteps float64
 	// Placements counts scheduler invocations (placements + replans).
 	Placements int
+	// Per-SLO-class accounting. Pauses, shortfalls, and demand are
+	// attributed to each app's firm classes pro rata by core share; legacy
+	// two-class runs record everything under workload.Stable. Absent keys
+	// mean zero.
+	PausedByClass    map[workload.Class]float64
+	ShortfallByClass map[workload.Class]float64
+	DemandByClass    map[workload.Class]float64
+	// TransferByClass splits Transfer per class and step (same pro-rata
+	// attribution), for per-class burst percentiles.
+	TransferByClass map[workload.Class]trace.Series
+}
+
+// ClassAvailability returns the served fraction of class c's demanded
+// core-steps — pauses and shortfalls both count against it — or 1 when the
+// class recorded no demand.
+func (r Result) ClassAvailability(c workload.Class) float64 {
+	d := r.DemandByClass[c]
+	if d <= 0 {
+		return 1
+	}
+	av := 1 - (r.PausedByClass[c]+r.ShortfallByClass[c])/d
+	if av < 0 {
+		return 0
+	}
+	return av
+}
+
+// Classes lists the SLO classes with recorded demand, most critical first
+// (workload.AllClasses order).
+func (r Result) Classes() []workload.Class {
+	var out []workload.Class
+	for _, c := range workload.AllClasses {
+		if r.DemandByClass[c] > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // Summary computes the paper's Table 1 row: total, 99th percentile, peak

@@ -5,6 +5,7 @@ import (
 
 	"github.com/vbcloud/vb/internal/core"
 	"github.com/vbcloud/vb/internal/obs"
+	"github.com/vbcloud/vb/internal/workload"
 )
 
 // simVecs bundles the engine's dimensional metrics with the label strings
@@ -27,6 +28,12 @@ type simVecs struct {
 	// app (no site: the plan never chose one).
 	paused    *obs.CounterVec
 	shortfall *obs.CounterVec
+	// The by-class vecs break violations and traffic down by SLO class;
+	// classLabels caches the class-name strings.
+	classLabels   map[workload.Class]string
+	pausedCls     *obs.CounterVec
+	shortfallCls  *obs.CounterVec
+	transferByCls *obs.CounterVec
 }
 
 // newSimVecs returns nil when reg is nil, so callers hold one nil-check at
@@ -45,7 +52,20 @@ func newSimVecs(reg *obs.Registry, policy core.Policy, numSites int) *simVecs {
 	v.transfer = reg.NewCounterVec("sim.transfer_gb", "policy", "app")
 	v.paused = reg.NewCounterVec("sim.paused_core_steps", "policy", "app", "site")
 	v.shortfall = reg.NewCounterVec("sim.shortfall_core_steps", "policy", "app")
+	v.classLabels = map[workload.Class]string{}
+	v.pausedCls = reg.NewCounterVec("sim.paused_core_steps_by_class", "policy", "class")
+	v.shortfallCls = reg.NewCounterVec("sim.shortfall_core_steps_by_class", "policy", "class")
+	v.transferByCls = reg.NewCounterVec("sim.transfer_gb_by_class", "policy", "class")
 	return v
+}
+
+func (v *simVecs) class(c workload.Class) string {
+	s, ok := v.classLabels[c]
+	if !ok {
+		s = c.String()
+		v.classLabels[c] = s
+	}
+	return s
 }
 
 func (v *simVecs) app(id int) string {
@@ -91,16 +111,44 @@ func (v *simVecs) short(app int, cores float64) {
 	v.shortfall.Add(cores, v.policy, v.app(app))
 }
 
+// pauseClass records paused core-steps attributed to one SLO class.
+func (v *simVecs) pauseClass(c workload.Class, cores float64) {
+	if v == nil {
+		return
+	}
+	v.pausedCls.Add(cores, v.policy, v.class(c))
+}
+
+// shortClass records shortfall core-steps attributed to one SLO class.
+func (v *simVecs) shortClass(c workload.Class, cores float64) {
+	if v == nil {
+		return
+	}
+	v.shortfallCls.Add(cores, v.policy, v.class(c))
+}
+
+// transferClass records migration traffic attributed to one SLO class.
+func (v *simVecs) transferClass(c workload.Class, gb float64) {
+	if v == nil {
+		return
+	}
+	v.transferByCls.Add(gb, v.policy, v.class(c))
+}
+
 // vmVecs is the VM-level engine's counterpart to simVecs. Moves from a
 // displaced state carry src = -1; they are labeled "none" so re-homes stay
 // distinguishable from site-to-site reconciles in the flow breakdown.
 type vmVecs struct {
-	policy  string
-	sites   []string
-	apps    map[int]string
-	moves   *obs.CounterVec
-	evicted *obs.CounterVec
-	failed  *obs.CounterVec
+	policy      string
+	sites       []string
+	apps        map[int]string
+	moves       *obs.CounterVec
+	evicted     *obs.CounterVec
+	failed      *obs.CounterVec
+	classLabels map[workload.Class]string
+	evictedCls  *obs.CounterVec
+	failedCls   *obs.CounterVec
+	movesCls    *obs.CounterVec
 }
 
 func newVMVecs(reg *obs.Registry, policy core.Policy, numSites int) *vmVecs {
@@ -115,7 +163,20 @@ func newVMVecs(reg *obs.Registry, policy core.Policy, numSites int) *vmVecs {
 	v.moves = reg.NewCounterVec("vmlevel.moves_gb", "policy", "src", "dst")
 	v.evicted = reg.NewCounterVec("vmlevel.evicted", "policy", "site")
 	v.failed = reg.NewCounterVec("vmlevel.failed_placements", "policy", "app")
+	v.classLabels = map[workload.Class]string{}
+	v.evictedCls = reg.NewCounterVec("vmlevel.evicted_by_class", "policy", "class")
+	v.failedCls = reg.NewCounterVec("vmlevel.failed_by_class", "policy", "class")
+	v.movesCls = reg.NewCounterVec("vmlevel.moves_gb_by_class", "policy", "class")
 	return v
+}
+
+func (v *vmVecs) class(c workload.Class) string {
+	s, ok := v.classLabels[c]
+	if !ok {
+		s = c.String()
+		v.classLabels[c] = s
+	}
+	return s
 }
 
 func (v *vmVecs) app(id int) string {
@@ -156,4 +217,28 @@ func (v *vmVecs) fail(app int) {
 		return
 	}
 	v.failed.Inc(v.policy, v.app(app))
+}
+
+// moveClass records one migration's traffic against the VM's SLO class.
+func (v *vmVecs) moveClass(c workload.Class, gb float64) {
+	if v == nil {
+		return
+	}
+	v.movesCls.Add(gb, v.policy, v.class(c))
+}
+
+// evictClass records one eviction against the VM's SLO class.
+func (v *vmVecs) evictClass(c workload.Class) {
+	if v == nil {
+		return
+	}
+	v.evictedCls.Inc(v.policy, v.class(c))
+}
+
+// failClass records one failed placement against the VM's SLO class.
+func (v *vmVecs) failClass(c workload.Class) {
+	if v == nil {
+		return
+	}
+	v.failedCls.Inc(v.policy, v.class(c))
 }

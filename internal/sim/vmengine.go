@@ -102,6 +102,19 @@ type VMStepReport struct {
 	TransferGB float64 `json:"transfer_gb"`
 	// Fragmentation is the mean end-of-step fragmentation across sites.
 	Fragmentation float64 `json:"fragmentation"`
+	// Per-SLO-class step deltas (absent when the step had none).
+	EvictedByClass map[string]int     `json:"evicted_by_class,omitempty"`
+	FailedByClass  map[string]int     `json:"failed_by_class,omitempty"`
+	MovesGBByClass map[string]float64 `json:"moves_gb_by_class,omitempty"`
+}
+
+// addClassCount accumulates a per-class step count, creating the map on
+// first use so clean steps keep their compact JSON form.
+func addClassCount(m *map[string]int, c workload.Class) {
+	if *m == nil {
+		*m = make(map[string]int)
+	}
+	(*m)[c.String()]++
 }
 
 // NewVMEngine builds a VM-granularity stepping engine. Unlike RunVMLevel,
@@ -158,8 +171,11 @@ func NewVMEngine(cfg core.Config, in Input, clusterCfg cluster.Config) (*VMEngin
 		byID:   map[int]*vmAppState{},
 		vmSite: map[int]int{},
 		res: VMLevelResult{
-			Policy:   cfg.Policy,
-			Transfer: trace.New(base.Start, base.Step, T),
+			Policy:           cfg.Policy,
+			Transfer:         trace.New(base.Start, base.Step, T),
+			MovesGBByClass:   make(map[workload.Class]float64),
+			EvictionsByClass: make(map[workload.Class]int),
+			FailedByClass:    make(map[workload.Class]int),
 		},
 	}, nil
 }
@@ -218,8 +234,11 @@ func (e *VMEngine) feed(arrivals []AppArrival) error {
 				st.endStep = idx + 1
 			}
 		}
+		// Every firm class is scheduled and tracked; degradable VMs pause
+		// in place for free (the paper's harvest semantics) and never
+		// constrain placement. Legacy traces carry only Stable here.
 		for _, vm := range arr.VMs {
-			if vm.Class == workload.Stable {
+			if vm.Class.Firm() {
 				st.vms = append(st.vms, vm)
 			}
 		}
@@ -262,9 +281,12 @@ func (e *VMEngine) Advance(arrivals []AppArrival) (VMStepReport, error) {
 		for _, vm := range site.SetPowerEvict(e.in.Actual[sIdx].Values[t] * inj.CapFactor(sIdx, t)) {
 			e.vmSite[vm.ID] = -1
 			rep.Evicted = append(rep.Evicted, VMEvent{VM: vm.ID, App: vm.AppID, Site: sIdx})
+			res.EvictionsByClass[vm.Class]++
+			addClassCount(&rep.EvictedByClass, vm.Class)
 			reg.Emit(obs.Event{Type: obs.VMEvicted, Step: t, App: vm.AppID, Site: sIdx, Dst: -1,
 				VM: vm.ID, Cores: float64(vm.Cores), GB: float64(vm.MemoryGB)})
 			e.vecs.evict(sIdx)
+			e.vecs.evictClass(vm.Class)
 		}
 	}
 
@@ -337,20 +359,26 @@ func (e *VMEngine) Advance(arrivals []AppArrival) (VMStepReport, error) {
 					gb := float64(vm.MemoryGB)
 					res.Transfer.Values[t] += gb
 					res.Moves++
+					res.MovesGBByClass[vm.Class] += gb
+					addClassDelta(&rep.MovesGBByClass, vm.Class, gb)
 					rep.Moves = append(rep.Moves, VMMove{VM: vm.ID, App: vm.AppID, From: -1, To: placed,
 						GB: gb, Reason: "rehome"})
 					reg.Emit(obs.Event{Type: obs.VMMoved, Step: t, App: vm.AppID, Site: -1,
 						Dst: placed, VM: vm.ID, Cores: float64(vm.Cores), GB: gb, Detail: "rehome"})
 					e.vecs.move(-1, placed, gb)
+					e.vecs.moveClass(vm.Class, gb)
 				}
 				e.vmSite[vm.ID] = placed
 			} else {
 				res.FailedPlacements++
+				res.FailedByClass[vm.Class]++
+				addClassCount(&rep.FailedByClass, vm.Class)
 				rep.Failed = append(rep.Failed, vm.ID)
 				reg.Inc("sim.vmlevel.failed_placements")
 				reg.Emit(obs.Event{Type: obs.VMPlacementFail, Step: t, App: vm.AppID, Site: -1, Dst: -1,
 					VM: vm.ID, Cores: float64(vm.Cores)})
 				e.vecs.fail(vm.AppID)
+				e.vecs.failClass(vm.Class)
 			}
 		}
 	}
@@ -436,11 +464,14 @@ func (e *VMEngine) reconcile(st *vmAppState, t int, wb *fault.LinkBudget, rep *V
 			over -= float64(vm.Cores)
 			e.res.Transfer.Values[t] += gb
 			e.res.Moves++
+			e.res.MovesGBByClass[vm.Class] += gb
+			addClassDelta(&rep.MovesGBByClass, vm.Class, gb)
 			rep.Moves = append(rep.Moves, VMMove{VM: vm.ID, App: vm.AppID, From: src, To: dst,
 				GB: gb, Reason: "reconcile"})
 			e.reg.Emit(obs.Event{Type: obs.VMMoved, Step: t, App: vm.AppID, Site: src, Dst: dst,
 				VM: vm.ID, Cores: float64(vm.Cores), GB: gb, Detail: "reconcile"})
 			e.vecs.move(src, dst, gb)
+			e.vecs.moveClass(vm.Class, gb)
 		}
 	}
 }
@@ -502,6 +533,12 @@ type vmEngineState struct {
 	Moves            int
 	FailedPlacements int
 	FragSum          float64
+
+	// Per-class counters (absent in pre-class snapshots; they decode to nil
+	// and restore as empty, losing only the pre-snapshot class breakdown).
+	MovesGBByClass   map[workload.Class]float64
+	EvictionsByClass map[workload.Class]int
+	FailedByClass    map[workload.Class]int
 }
 
 // Snapshot serializes the engine's complete decision state — streamed apps
@@ -524,6 +561,9 @@ func (e *VMEngine) Snapshot(w io.Writer) error {
 		Moves:            e.res.Moves,
 		FailedPlacements: e.res.FailedPlacements,
 		FragSum:          e.fragSum,
+		MovesGBByClass:   e.res.MovesGBByClass,
+		EvictionsByClass: e.res.EvictionsByClass,
+		FailedByClass:    e.res.FailedByClass,
 	}
 	for i, a := range e.order {
 		st.Apps[i] = vmAppWire{Demand: a.demand, Plan: a.plan, EndStep: a.endStep, Started: a.started, VMs: a.vms}
@@ -633,5 +673,14 @@ func RestoreVMEngine(cfg core.Config, in Input, clusterCfg cluster.Config, r io.
 	e.res.Moves = st.Moves
 	e.res.FailedPlacements = st.FailedPlacements
 	e.fragSum = st.FragSum
+	if st.MovesGBByClass != nil {
+		e.res.MovesGBByClass = st.MovesGBByClass
+	}
+	if st.EvictionsByClass != nil {
+		e.res.EvictionsByClass = st.EvictionsByClass
+	}
+	if st.FailedByClass != nil {
+		e.res.FailedByClass = st.FailedByClass
+	}
 	return e, nil
 }

@@ -31,11 +31,19 @@ type VMLevelResult struct {
 	// Fragmentation is the mean end-of-step fragmentation score across
 	// sites (see cluster.Snapshot).
 	Fragmentation float64
+	// Per-SLO-class disruption counters: migration traffic, evictions, and
+	// failed placements attributed to each VM's class. Legacy two-class runs
+	// record everything under workload.Stable. Snapshots taken before these
+	// counters existed restore with the pre-snapshot portion missing.
+	MovesGBByClass   map[workload.Class]float64
+	EvictionsByClass map[workload.Class]int
+	FailedByClass    map[workload.Class]int
 }
 
 // RunVMLevel simulates one policy at VM granularity. Apps supplies the
-// discrete VMs behind in.Apps (matched by App ID); only Stable-class VMs
-// are scheduled, as in Run. clusterCfg describes each site's hardware.
+// discrete VMs behind in.Apps (matched by App ID); only firm-class VMs
+// (every class but Degradable) are scheduled, as in Run. clusterCfg
+// describes each site's hardware.
 //
 // It is a thin batch loop over VMEngine.Advance: the demands are sorted by
 // Start and each step is fed the newly arrived prefix, which reproduces

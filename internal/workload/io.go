@@ -12,8 +12,10 @@ import (
 // dataset) can be converted into the simulator's format and synthetic
 // traces can be exported for inspection.
 //
-// Column semantics: `class` is "stable" or "degradable", `arrival` is
-// RFC 3339, and `lifetime_s = 0` means the VM is immortal — it runs until
+// Column semantics: `class` is an SLO class name ("stable", "degradable",
+// "realtime", "interactive", "batch"), `arrival` is RFC 3339 with
+// nanosecond precision (older files without fractional seconds parse
+// unchanged), and `lifetime_s = 0` means the VM is immortal — it runs until
 // the end of whatever simulation consumes it (VM.End() returns the zero
 // time). Long-running services are exported this way; a VM that really
 // lives zero seconds cannot be expressed, matching the generator, which
@@ -34,7 +36,10 @@ func WriteCSV(w io.Writer, vms []VM) error {
 			strconv.Itoa(v.Cores),
 			strconv.Itoa(v.MemoryGB),
 			v.Class.String(),
-			v.Arrival.UTC().Format(time.RFC3339),
+			// RFC3339Nano keeps the generator's sub-second arrival gaps:
+			// plain RFC3339 silently truncated them, so a write→read
+			// round-trip did not reproduce the trace.
+			v.Arrival.UTC().Format(time.RFC3339Nano),
 			strconv.FormatInt(int64(v.Lifetime/time.Second), 10),
 			strconv.Itoa(v.AppID),
 		}
@@ -91,12 +96,7 @@ func parseVM(rec []string) (VM, error) {
 	if vm.MemoryGB, err = strconv.Atoi(rec[2]); err != nil || vm.MemoryGB <= 0 {
 		return VM{}, fmt.Errorf("bad memory %q", rec[2])
 	}
-	switch rec[3] {
-	case "stable":
-		vm.Class = Stable
-	case "degradable":
-		vm.Class = Degradable
-	default:
+	if vm.Class, err = ParseClass(rec[3]); err != nil {
 		return VM{}, fmt.Errorf("bad class %q", rec[3])
 	}
 	if vm.Arrival, err = time.Parse(time.RFC3339, rec[4]); err != nil {

@@ -1,0 +1,138 @@
+// Trace v2: a versioned JSONL record/replay format for application traces.
+// The first line is a header (format tag, version, generator seed, spec
+// hash, app count); every following line is one application with its VMs.
+// A recorded trace replays bit-identically: ReadTraceV2 returns the exact
+// apps WriteTraceV2 was given, so a simulation over the replayed trace
+// reproduces the live-generated run decision for decision.
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// TraceFormatV2 tags the first line of a v2 trace file.
+const TraceFormatV2 = "vb.apptrace"
+
+// TraceV2Version is the trace format version this build reads and writes.
+const TraceV2Version = 2
+
+// TraceHeader is the first JSONL record of a v2 trace.
+type TraceHeader struct {
+	// Format must be TraceFormatV2.
+	Format string `json:"format"`
+	// Version must be TraceV2Version.
+	Version int `json:"version"`
+	// Seed is the generator seed the trace was produced with.
+	Seed uint64 `json:"seed"`
+	// SpecHash fingerprints the TraceSpec behind the trace (TraceSpec.Hash,
+	// hex); empty for traces not generated from a spec.
+	SpecHash string `json:"spec_hash,omitempty"`
+	// Apps is the number of application records that follow.
+	Apps int `json:"apps"`
+}
+
+// v2App is one application record in wire form. VM arrivals equal the app
+// arrival (the scheduling model's assumption), so they are not repeated.
+type v2App struct {
+	ID       int       `json:"id"`
+	Arrival  time.Time `json:"arrival"`
+	Duration int64     `json:"duration_ns,omitempty"`
+	VMs      []v2VM    `json:"vms"`
+}
+
+// v2VM is one VM record; class is the SLO class name so traces are
+// self-describing.
+type v2VM struct {
+	ID       int    `json:"id"`
+	Cores    int    `json:"cores"`
+	MemoryGB int    `json:"memory_gb"`
+	Class    string `json:"class"`
+	Lifetime int64  `json:"lifetime_ns,omitempty"`
+}
+
+// WriteTraceV2 records apps as a v2 JSONL trace. The header's Apps count is
+// overwritten with len(apps); Format and Version are filled in when empty.
+func WriteTraceV2(w io.Writer, h TraceHeader, apps []App) error {
+	h.Format = TraceFormatV2
+	h.Version = TraceV2Version
+	h.Apps = len(apps)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(h); err != nil {
+		return fmt.Errorf("workload: writing trace header: %w", err)
+	}
+	for _, a := range apps {
+		if err := a.Validate(); err != nil {
+			return err
+		}
+		rec := v2App{ID: a.ID, Arrival: a.Arrival, Duration: int64(a.Duration), VMs: make([]v2VM, len(a.VMs))}
+		for i, vm := range a.VMs {
+			rec.VMs[i] = v2VM{
+				ID: vm.ID, Cores: vm.Cores, MemoryGB: vm.MemoryGB,
+				Class: vm.Class.String(), Lifetime: int64(vm.Lifetime),
+			}
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("workload: writing app %d: %w", a.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTraceV2 replays a v2 JSONL trace: it returns the header and the exact
+// apps that were recorded. Unknown formats and versions are rejected, as is
+// a record count disagreeing with the header.
+func ReadTraceV2(r io.Reader) (TraceHeader, []App, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return TraceHeader{}, nil, fmt.Errorf("workload: reading trace header: %w", err)
+		}
+		return TraceHeader{}, nil, fmt.Errorf("workload: empty trace file")
+	}
+	var h TraceHeader
+	if err := strictUnmarshal(sc.Bytes(), &h); err != nil {
+		return TraceHeader{}, nil, fmt.Errorf("workload: parsing trace header: %w", err)
+	}
+	if h.Format != TraceFormatV2 {
+		return TraceHeader{}, nil, fmt.Errorf("workload: trace format %q, want %q", h.Format, TraceFormatV2)
+	}
+	if h.Version != TraceV2Version {
+		return TraceHeader{}, nil, fmt.Errorf("workload: trace version %d, this build reads %d", h.Version, TraceV2Version)
+	}
+	var apps []App
+	for line := 2; sc.Scan(); line++ {
+		var rec v2App
+		if err := strictUnmarshal(sc.Bytes(), &rec); err != nil {
+			return TraceHeader{}, nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		app := App{ID: rec.ID, Arrival: rec.Arrival, Duration: time.Duration(rec.Duration), VMs: make([]VM, len(rec.VMs))}
+		for i, vm := range rec.VMs {
+			class, err := ParseClass(vm.Class)
+			if err != nil {
+				return TraceHeader{}, nil, fmt.Errorf("workload: line %d VM %d: %w", line, vm.ID, err)
+			}
+			app.VMs[i] = VM{
+				ID: vm.ID, Cores: vm.Cores, MemoryGB: vm.MemoryGB,
+				Class: class, Arrival: rec.Arrival, Lifetime: time.Duration(vm.Lifetime),
+				AppID: rec.ID,
+			}
+		}
+		if err := app.Validate(); err != nil {
+			return TraceHeader{}, nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		apps = append(apps, app)
+	}
+	if err := sc.Err(); err != nil {
+		return TraceHeader{}, nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	if len(apps) != h.Apps {
+		return TraceHeader{}, nil, fmt.Errorf("workload: trace has %d apps, header says %d", len(apps), h.Apps)
+	}
+	return h, apps, nil
+}

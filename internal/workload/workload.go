@@ -1,8 +1,11 @@
 // Package workload generates synthetic cloud workloads standing in for the
-// Azure production VM arrival trace the paper uses (§3): Poisson arrivals
+// Azure production VM arrival trace the paper uses (§3): renewal arrivals
 // with a diurnal rate profile, an Azure-like VM size mix, heavy-tailed
-// lifetimes, and a stable/degradable class split (§2.3's two application
-// categories).
+// lifetimes, and an SLO class per VM (classes.go) refining §2.3's
+// stable/degradable split. Beyond the legacy single-stream generator,
+// cohort.go mixes heterogeneous cohorts (per-cohort renewal process, size
+// mix, lifetime distribution and class) from a versioned spec, and
+// tracev2.go records/replays the resulting app traces as JSONL.
 package workload
 
 import (
@@ -13,25 +16,6 @@ import (
 	"sort"
 	"time"
 )
-
-// Class is the availability class of a VM (§2.3).
-type Class int
-
-const (
-	// Stable VMs require cloud-like availability (on-demand equivalents).
-	Stable Class = iota
-	// Degradable VMs tolerate preemption and resizing (spot/harvest
-	// equivalents).
-	Degradable
-)
-
-// String implements fmt.Stringer.
-func (c Class) String() string {
-	if c == Stable {
-		return "stable"
-	}
-	return "degradable"
-}
 
 // VM is one virtual machine request.
 type VM struct {
@@ -143,10 +127,13 @@ func Generate(cfg Config) ([]VM, error) {
 	id := 1
 	for t.Before(end) {
 		rate := cfg.MeanArrivalsPerHour * diurnalRate(t)
-		// Exponential inter-arrival at the current rate.
+		// Exponential inter-arrival at the current rate. The clamp only
+		// guards the (measure-zero) sub-nanosecond draw: clamping any
+		// further (the old code forced a full second) visibly biases the
+		// arrival count at high rates.
 		gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Hour))
 		if gap <= 0 {
-			gap = time.Second
+			gap = time.Nanosecond
 		}
 		t = t.Add(gap)
 		if !t.Before(end) {
@@ -155,8 +142,20 @@ func Generate(cfg Config) ([]VM, error) {
 		vms = append(vms, newVM(id, t, cfg, rng))
 		id++
 	}
-	sort.Slice(vms, func(i, j int) bool { return vms[i].Arrival.Before(vms[j].Arrival) })
+	sortVMs(vms)
 	return vms, nil
+}
+
+// sortVMs orders a trace by arrival time with the VM ID as a stable
+// tie-break, so equal-timestamp arrivals (possible at extreme rates) keep a
+// deterministic order regardless of the sort algorithm's internals.
+func sortVMs(vms []VM) {
+	sort.Slice(vms, func(i, j int) bool {
+		if !vms[i].Arrival.Equal(vms[j].Arrival) {
+			return vms[i].Arrival.Before(vms[j].Arrival)
+		}
+		return vms[i].ID < vms[j].ID
+	})
 }
 
 // newVM draws one VM with the configured class and size mix.
@@ -187,18 +186,8 @@ func diurnalRate(t time.Time) float64 {
 	return 1 + 0.35*math.Sin(2*math.Pi*(h-10)/24)
 }
 
-// drawShape samples the VM size mix.
-func drawShape(rng *rand.Rand) shape {
-	u := rng.Float64()
-	var cum float64
-	for _, s := range sizeMix {
-		cum += s.weight
-		if u < cum {
-			return s
-		}
-	}
-	return sizeMix[len(sizeMix)-1]
-}
+// drawShape samples the default VM size mix.
+func drawShape(rng *rand.Rand) shape { return drawShapeFrom(sizeMix, rng) }
 
 // drawLifetime samples a lognormal lifetime with the given median and a
 // heavy tail (sigma 1.4: p99 is ~26x the median).
@@ -262,7 +251,8 @@ func (a App) TotalMemoryGB() int {
 	return n
 }
 
-// StableCores returns the cores requested by Stable-class VMs.
+// StableCores returns the cores requested by Stable-class VMs (the legacy
+// firm class only; see FirmCores for the full SLO-bearing total).
 func (a App) StableCores() int {
 	n := 0
 	for _, v := range a.VMs {
@@ -271,6 +261,29 @@ func (a App) StableCores() int {
 		}
 	}
 	return n
+}
+
+// FirmCores returns the cores requested by firm-class VMs (every class but
+// Degradable) — the cores the co-scheduler must place and migrate. For
+// legacy stable/degradable traces it equals StableCores.
+func (a App) FirmCores() int {
+	n := 0
+	for _, v := range a.VMs {
+		if v.Class.Firm() {
+			n += v.Cores
+		}
+	}
+	return n
+}
+
+// CoresByClass breaks the app's cores down by SLO class. Classes with no
+// VMs are absent from the map.
+func (a App) CoresByClass() map[Class]int {
+	m := make(map[Class]int)
+	for _, v := range a.VMs {
+		m[v.Class] += v.Cores
+	}
+	return m
 }
 
 // AppConfig parameterizes application-level workload generation.
@@ -319,7 +332,7 @@ func GenerateApps(cfg AppConfig) ([]App, error) {
 	for {
 		gap := time.Duration(rng.ExpFloat64() / cfg.MeanAppsPerDay * float64(24*time.Hour))
 		if gap <= 0 {
-			gap = time.Second
+			gap = time.Nanosecond
 		}
 		t = t.Add(gap)
 		if !t.Before(end) {

@@ -211,6 +211,54 @@ func TestClassString(t *testing.T) {
 	}
 }
 
+// TestGenerateExtremeRate pins the inter-arrival clamp fix: at extreme rates
+// the expected gap drops below a second, and the old clamp (forcing every
+// non-positive or tiny gap to 1s) would cap the process at ~3600 arrivals per
+// hour. The count must track rate*hours even when gaps are sub-second, and
+// equal-timestamp arrivals must stay in ID order.
+func TestGenerateExtremeRate(t *testing.T) {
+	cfg := Config{
+		Seed:                13,
+		Start:               start,
+		Duration:            time.Hour,
+		MeanArrivalsPerHour: 50000,
+		StableFraction:      0.5,
+	}
+	vms, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The diurnal envelope runs ~0.8x overnight (the window starts at
+	// midnight), so expect rate*hours*[0.7,0.95]. The old 1s clamp capped
+	// the count near 3600 regardless.
+	expected := cfg.MeanArrivalsPerHour * cfg.Duration.Hours()
+	if float64(len(vms)) < 0.7*expected || float64(len(vms)) > 0.95*expected {
+		t.Errorf("got %d VMs at extreme rate, want ~%.0f x diurnal (1s clamp would cap near 3600)", len(vms), expected)
+	}
+	for i := 1; i < len(vms); i++ {
+		if vms[i].Arrival.Before(vms[i-1].Arrival) {
+			t.Fatal("VMs not sorted by arrival")
+		}
+		if vms[i].Arrival.Equal(vms[i-1].Arrival) && vms[i].ID < vms[i-1].ID {
+			t.Fatal("equal-timestamp VMs not in ID order")
+		}
+	}
+}
+
+// TestSortVMsTieBreak pins the deterministic tie-break directly.
+func TestSortVMsTieBreak(t *testing.T) {
+	at := start.Add(time.Minute)
+	vms := []VM{
+		{ID: 3, Arrival: at},
+		{ID: 1, Arrival: at.Add(time.Second)},
+		{ID: 2, Arrival: at},
+	}
+	sortVMs(vms)
+	if vms[0].ID != 2 || vms[1].ID != 3 || vms[2].ID != 1 {
+		t.Errorf("sorted order %d,%d,%d; want 2,3,1", vms[0].ID, vms[1].ID, vms[2].ID)
+	}
+}
+
 func TestGenerateApps(t *testing.T) {
 	cfg := AppConfig{
 		Seed:           3,

@@ -117,9 +117,10 @@ func buildTable1Input(s Table1Setup, start time.Time) (sim.Input, []SiteConfig, 
 	return buildGroupInput(s, start, energy.EuropeanTrio())
 }
 
-// buildGroupInput assembles power, forecasts and app demands for an
-// arbitrary multi-VB group.
-func buildGroupInput(s Table1Setup, start time.Time, trio []SiteConfig) (sim.Input, []SiteConfig, error) {
+// buildGroupPower generates a group's per-site actual power series and
+// forecast bundles on the plan timeline. Shared by the Table 1 and SLO-class
+// experiments, which differ only in how they produce applications.
+func buildGroupPower(s Table1Setup, start time.Time, trio []SiteConfig) ([]Series, []*forecast.Bundle, error) {
 	w := energy.NewWorld(s.Seed)
 	w.Obs = s.Obs
 	if s.Obs != nil {
@@ -127,7 +128,36 @@ func buildGroupInput(s Table1Setup, start time.Time, trio []SiteConfig) (sim.Inp
 			s.Obs.SetLabel("site."+c.Name, c.Source.String())
 		}
 	}
+	fine, err := w.Generate(trio, start, time.Hour, s.Days*24)
+	if err != nil {
+		return nil, nil, err
+	}
+	fc := forecast.New(s.Seed)
+	fc.Obs = s.Obs
+	actual := make([]Series, len(trio))
+	bundles := make([]*forecast.Bundle, len(trio))
+	for i := range trio {
+		a, err := fine[i].WindowMin(Table1PlanStep)
+		if err != nil {
+			return nil, nil, err
+		}
+		actual[i] = a
+		bundles[i], err = fc.NewBundle(a, trio[i].Source, trio[i].Name)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !s.LeadDependentForecasts {
+			if err := bundles[i].UseFixedHorizon(forecast.HorizonDay); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return actual, bundles, nil
+}
 
+// buildGroupInput assembles power, forecasts and app demands for an
+// arbitrary multi-VB group.
+func buildGroupInput(s Table1Setup, start time.Time, trio []SiteConfig) (sim.Input, []SiteConfig, error) {
 	// Subgraph identification over the trio (they are mutually within the
 	// paper's 50 ms at European scale when relaxed; we use the trio
 	// directly as the chosen group but verify it is a clique under a
@@ -144,29 +174,9 @@ func buildGroupInput(s Table1Setup, start time.Time, trio []SiteConfig) (sim.Inp
 		return sim.Input{}, nil, fmt.Errorf("vb: trio is not a clique at 60 ms")
 	}
 
-	fine, err := w.Generate(trio, start, time.Hour, s.Days*24)
+	actual, bundles, err := buildGroupPower(s, start, trio)
 	if err != nil {
 		return sim.Input{}, nil, err
-	}
-	fc := forecast.New(s.Seed)
-	fc.Obs = s.Obs
-	actual := make([]Series, len(trio))
-	bundles := make([]*forecast.Bundle, len(trio))
-	for i := range trio {
-		a, err := fine[i].WindowMin(Table1PlanStep)
-		if err != nil {
-			return sim.Input{}, nil, err
-		}
-		actual[i] = a
-		bundles[i], err = fc.NewBundle(a, trio[i].Source, trio[i].Name)
-		if err != nil {
-			return sim.Input{}, nil, err
-		}
-		if !s.LeadDependentForecasts {
-			if err := bundles[i].UseFixedHorizon(forecast.HorizonDay); err != nil {
-				return sim.Input{}, nil, err
-			}
-		}
 	}
 	apps, err := workload.GenerateApps(workload.AppConfig{
 		Seed:           s.Seed + 1,

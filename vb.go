@@ -97,13 +97,63 @@ type (
 	WorkloadConfig = workload.Config
 	// AppConfig parameterizes application trace generation.
 	AppConfig = workload.AppConfig
+	// WorkloadClass is a VM's SLO class (pause tolerance + scheduler pause
+	// cost weight).
+	WorkloadClass = workload.Class
+	// CohortSpec describes one workload cohort (class, renewal process,
+	// size profile, lifetime distribution).
+	CohortSpec = workload.CohortSpec
+	// TraceSpec is a versioned cohort-mix description, the unit of the
+	// scenario library (see GenerateCohortApps).
+	TraceSpec = workload.TraceSpec
+	// TraceHeader is the first record of a v2 application trace file.
+	TraceHeader = workload.TraceHeader
 )
 
-// VM availability classes.
+// VM SLO classes, in descending pause-cost order. Stable and Degradable are
+// the paper's original two-value split; RealTime, Interactive and Batch
+// refine the firm side with distinct pause tolerances and scheduler weights.
 const (
-	Stable     = workload.Stable
-	Degradable = workload.Degradable
+	RealTime    = workload.RealTime
+	Interactive = workload.Interactive
+	Stable      = workload.Stable
+	Batch       = workload.Batch
+	Degradable  = workload.Degradable
 )
+
+// AllWorkloadClasses lists every SLO class in degradation-ladder order
+// (most pause-averse first).
+func AllWorkloadClasses() []WorkloadClass {
+	return append([]WorkloadClass(nil), workload.AllClasses...)
+}
+
+// ParseWorkloadClass parses a class name ("realtime", "interactive",
+// "stable", "batch", "degradable").
+func ParseWorkloadClass(s string) (WorkloadClass, error) { return workload.ParseClass(s) }
+
+// GenerateCohortApps produces an application trace from a cohort-mix spec:
+// each cohort contributes an independent deterministic stream of apps with
+// its own SLO class, renewal process and size profile, merged in arrival
+// order.
+func GenerateCohortApps(spec TraceSpec) ([]App, error) { return workload.GenerateCohorts(spec) }
+
+// ParseTraceSpec parses a versioned JSON cohort-mix spec (strict: unknown
+// fields are rejected).
+func ParseTraceSpec(b []byte) (*TraceSpec, error) { return workload.ParseTraceSpec(b) }
+
+// LoadTraceSpec reads a JSON cohort-mix spec from disk.
+func LoadTraceSpec(path string) (*TraceSpec, error) { return workload.LoadTraceSpec(path) }
+
+// WriteAppTrace records applications as a versioned JSONL trace (trace v2):
+// a header line (format, version, seed, spec hash) followed by one
+// self-describing record per app. A recorded trace replays bit-identically.
+func WriteAppTrace(w io.Writer, h TraceHeader, apps []App) error {
+	return workload.WriteTraceV2(w, h, apps)
+}
+
+// ReadAppTrace decodes a trace written by WriteAppTrace, returning the
+// header and the exact recorded applications.
+func ReadAppTrace(r io.Reader) (TraceHeader, []App, error) { return workload.ReadTraceV2(r) }
 
 // Single-site cluster simulation (paper §3, Fig 4).
 type (
